@@ -1,0 +1,79 @@
+//! Property tests for the aR-tree.
+//!
+//! Listing 3's query is deliberately approximate (case (a) prunes sibling
+//! subtrees; overlapping children may double count), so the tests pin the
+//! *guaranteed* behaviours: structural invariants after arbitrary insert
+//! sequences, exact root aggregates, exactness when the search contains
+//! everything, and zero results on disjoint queries.
+
+use gb_artree::{ARTree, Aggregate, CountAgg, MAX_ENTRIES};
+use gb_geom::{Point, Rect};
+use proptest::prelude::*;
+
+/// Sum aggregate to check value propagation, not just counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SumAgg {
+    count: u64,
+    sum: f64,
+}
+
+impl Aggregate for SumAgg {
+    fn merge_from(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn root_aggregate_is_exact(points in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..600)) {
+        let mut t: ARTree<SumAgg> = ARTree::new();
+        let mut want_sum = 0.0;
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let v = i as f64 * 0.25;
+            want_sum += v;
+            t.insert(Point::new(x, y), SumAgg { count: 1, sum: v });
+        }
+        let root = t.root_aggregate().expect("non-empty");
+        prop_assert_eq!(root.count, points.len() as u64);
+        prop_assert!((root.sum - want_sum).abs() < 1e-6 * want_sum.max(1.0));
+        prop_assert_eq!(t.len(), points.len());
+    }
+
+    #[test]
+    fn all_containing_search_is_exact(points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..400)) {
+        let mut t: ARTree<CountAgg> = ARTree::new();
+        for &(x, y) in &points {
+            t.insert(Point::new(x, y), CountAgg(1));
+        }
+        let mut acc = CountAgg(0);
+        t.query(&Rect::from_bounds(-1.0, -1.0, 101.0, 101.0), &mut acc);
+        prop_assert_eq!(acc.0, points.len() as u64);
+    }
+
+    #[test]
+    fn disjoint_search_is_empty(points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..300)) {
+        let mut t: ARTree<CountAgg> = ARTree::new();
+        for &(x, y) in &points {
+            t.insert(Point::new(x, y), CountAgg(1));
+        }
+        let mut acc = CountAgg(0);
+        t.query(&Rect::from_bounds(500.0, 500.0, 600.0, 600.0), &mut acc);
+        prop_assert_eq!(acc.0, 0);
+    }
+
+    #[test]
+    fn fanout_bounded_under_adversarial_orders(
+        points in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), (MAX_ENTRIES + 1)..500),
+    ) {
+        // Duplicate-heavy, tightly clustered insert orders stress splits.
+        let mut t: ARTree<CountAgg> = ARTree::new();
+        for &(x, y) in &points {
+            t.insert(Point::new(x, y), CountAgg(1));
+        }
+        prop_assert!(t.height() >= 2);
+        prop_assert_eq!(t.root_aggregate(), Some(&CountAgg(points.len() as u64)));
+    }
+}

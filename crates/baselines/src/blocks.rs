@@ -1,0 +1,76 @@
+//! GeoBlocks adapters to the unified [`SpatialAggIndex`] interface.
+
+use crate::SpatialAggIndex;
+use gb_data::AggSpec;
+use gb_geom::Polygon;
+use geoblocks::{AggResult, GeoBlock, GeoBlockQC};
+
+/// "Block": GeoBlocks without query caching.
+pub struct BlockIndex {
+    block: GeoBlock,
+}
+
+impl BlockIndex {
+    pub fn new(block: GeoBlock) -> Self {
+        BlockIndex { block }
+    }
+
+    pub fn block(&self) -> &GeoBlock {
+        &self.block
+    }
+}
+
+impl SpatialAggIndex for BlockIndex {
+    fn name(&self) -> &'static str {
+        "Block"
+    }
+
+    fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> AggResult {
+        self.block.select(polygon, spec).0
+    }
+
+    fn count(&mut self, polygon: &Polygon) -> u64 {
+        self.block.count(polygon).0
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.block.memory_bytes()
+    }
+}
+
+/// "BlockQC": GeoBlocks with the AggregateTrie query cache.
+pub struct BlockQcIndex {
+    qc: GeoBlockQC,
+}
+
+impl BlockQcIndex {
+    pub fn new(qc: GeoBlockQC) -> Self {
+        BlockQcIndex { qc }
+    }
+
+    pub fn qc(&self) -> &GeoBlockQC {
+        &self.qc
+    }
+
+    pub fn qc_mut(&mut self) -> &mut GeoBlockQC {
+        &mut self.qc
+    }
+}
+
+impl SpatialAggIndex for BlockQcIndex {
+    fn name(&self) -> &'static str {
+        "BlockQC"
+    }
+
+    fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> AggResult {
+        self.qc.select(polygon, spec).0
+    }
+
+    fn count(&mut self, polygon: &Polygon) -> u64 {
+        self.qc.count(polygon).0
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.qc.block().memory_bytes() + self.qc.trie().size_bytes()
+    }
+}

@@ -1,0 +1,91 @@
+//! Exact ground truth: full-scan point-in-polygon aggregation.
+//!
+//! This is deliberately the slowest possible "index" — it exists to define
+//! the truth that the relative-error metric of §4.2 compares against, and
+//! doubles as the reference implementation in cross-approach tests.
+
+use crate::SpatialAggIndex;
+use gb_data::{AggSpec, BaseTable, Rows};
+use gb_geom::Polygon;
+use geoblocks::AggResult;
+
+/// Exact aggregation by scanning every row.
+pub struct GroundTruth<'a> {
+    base: &'a BaseTable,
+}
+
+impl<'a> GroundTruth<'a> {
+    pub fn new(base: &'a BaseTable) -> Self {
+        GroundTruth { base }
+    }
+
+    /// Exact tuple count inside the polygon.
+    pub fn exact_count(&self, polygon: &Polygon) -> u64 {
+        let bbox = polygon.bbox();
+        let mut n = 0u64;
+        for row in 0..self.base.num_rows() {
+            let p = self.base.location(row);
+            if bbox.contains_point(p) && polygon.contains_point(p) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Exact aggregates inside the polygon.
+    pub fn exact_select(&self, polygon: &Polygon, spec: &AggSpec) -> AggResult {
+        let bbox = polygon.bbox();
+        let mut acc = AggResult::new(spec);
+        for row in 0..self.base.num_rows() {
+            let p = self.base.location(row);
+            if bbox.contains_point(p) && polygon.contains_point(p) {
+                acc.combine_tuple(spec, |c| self.base.value_f64(row, c));
+            }
+        }
+        acc.finalize(spec)
+    }
+}
+
+impl SpatialAggIndex for GroundTruth<'_> {
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+
+    fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> AggResult {
+        self.exact_select(polygon, spec)
+    }
+
+    fn count(&mut self, polygon: &Polygon) -> u64 {
+        self.exact_count(polygon)
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_cell::Grid;
+    use gb_data::{extract, CleaningRules, ColumnDef, RawTable, Schema};
+    use gb_geom::{Point, Rect};
+
+    #[test]
+    fn exact_count_on_grid_points() {
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v")]));
+        for x in 0..10 {
+            for y in 0..10 {
+                raw.push_row(Point::new(x as f64 + 0.5, y as f64 + 0.5), &[1.0]);
+            }
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 10.0, 10.0));
+        let base = extract(&raw, grid, &CleaningRules::none(), None).base;
+        let gt = GroundTruth::new(&base);
+        // A 3×3-cell rectangle captures exactly 9 points.
+        let poly = Polygon::rectangle(Rect::from_bounds(2.0, 2.0, 5.0, 5.0));
+        assert_eq!(gt.exact_count(&poly), 9);
+        let spec = AggSpec::count_only();
+        assert_eq!(gt.exact_select(&poly, &spec).count, 9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Micro-benchmarks of the hot operations in the GeoBlocks query path.
+//!
+//! These complement the `repro` harness (which regenerates the paper's
+//! figures): each bench isolates one primitive — point→cell mapping,
+//! polygon covering, aggregate-range scans, Listing-2 counts, trie lookups,
+//! and the substrate index probes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gb_cell::{cover_polygon, CovererOptions, CurveKind, Grid};
+use gb_data::{datasets, extract, polygons, AggSpec, Filter, Rows};
+use gb_geom::Point;
+use geoblocks::{build, GeoBlockQC};
+use std::hint::black_box;
+
+/// Small but realistic setup shared by the benches (kept modest so
+/// `cargo bench` finishes quickly).
+struct Setup {
+    base: gb_data::BaseTable,
+    block: geoblocks::GeoBlock,
+    polys: Vec<gb_geom::Polygon>,
+    spec: AggSpec,
+}
+
+fn setup() -> Setup {
+    let ds = datasets::nyc_taxi(200_000, 7);
+    let base = extract(&ds.raw, ds.grid, &datasets::nyc_cleaning_rules(), None).base;
+    let (block, _) = build(&base, 10, &Filter::all());
+    let polys = polygons::neighborhoods(64, 7);
+    let spec = AggSpec::k_aggregates(base.schema(), 7);
+    Setup {
+        base,
+        block,
+        polys,
+        spec,
+    }
+}
+
+fn bench_point_to_cell(c: &mut Criterion) {
+    let grid = Grid::hilbert(datasets::nyc_domain());
+    let morton = Grid::new(datasets::nyc_domain(), CurveKind::Morton);
+    let pts: Vec<Point> = (0..256)
+        .map(|i| {
+            Point::new(
+                30.0 + (i as f64 * 0.173).sin() * 25.0,
+                30.0 + (i as f64 * 0.311).cos() * 25.0,
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("point_to_leaf");
+    g.bench_function("hilbert", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pts {
+                acc ^= grid.leaf_for_point(black_box(p)).raw();
+            }
+            acc
+        })
+    });
+    g.bench_function("morton", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pts {
+                acc ^= morton.leaf_for_point(black_box(p)).raw();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let s = setup();
+    let grid = s.base.grid();
+    let mut g = c.benchmark_group("covering");
+    for level in [8u8, 10, 12] {
+        g.bench_function(format!("neighborhood_level_{level}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let poly = &s.polys[i % s.polys.len()];
+                i += 1;
+                black_box(cover_polygon(grid, poly, CovererOptions::at_level(level)).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("block_query");
+    g.bench_function("select_7aggs", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let poly = &s.polys[i % s.polys.len()];
+            i += 1;
+            black_box(s.block.select(poly, &s.spec).0.count)
+        })
+    });
+    g.bench_function("count", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let poly = &s.polys[i % s.polys.len()];
+            i += 1;
+            black_box(s.block.count(poly).0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_trie_lookup(c: &mut Criterion) {
+    let s = setup();
+    // Warm a cache over the whole polygon set, then measure pure lookups.
+    let mut qc = GeoBlockQC::new(s.block.clone(), 0.5);
+    for p in &s.polys {
+        qc.select(p, &s.spec);
+    }
+    qc.rebuild_cache();
+    let coverings: Vec<_> = s.polys.iter().map(|p| s.block.cover(p)).collect();
+    let cells: Vec<gb_cell::CellId> = coverings.iter().flat_map(|c| c.iter()).collect();
+
+    c.bench_function("trie_lookup", |b| {
+        let trie = qc.trie();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &cell in &cells {
+                if let Some(node) = trie.node_for(black_box(cell)) {
+                    if trie.agg_of(node).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let s = setup();
+    let pairs: Vec<(u64, u32)> = s
+        .base
+        .keys()
+        .iter()
+        .enumerate()
+        .map(|(r, &k)| (k, r as u32))
+        .collect();
+    let tree = gb_btree::BPlusTree::bulk_load(&pairs);
+    let probe_keys: Vec<u64> = pairs.iter().step_by(997).map(|p| p.0).collect();
+
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("btree_lower_bound", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &probe_keys {
+                if let Some((key, _)) = tree.lower_bound(black_box(k)).peek() {
+                    acc ^= key;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("base_binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &k in &probe_keys {
+                acc ^= s.base.lower_bound(black_box(k));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let ds = datasets::nyc_taxi(100_000, 9);
+    let base = extract(&ds.raw, ds.grid, &datasets::nyc_cleaning_rules(), None).base;
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.bench_function("geoblock_level10_100k", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(build(&base, 10, &Filter::all()).0.num_cells()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_point_to_cell, bench_covering, bench_queries, bench_trie_lookup, bench_substrates, bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! The reproduction driver: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! repro <experiment|all> [--scale F] [--seed N] [--write PATH]
+//!
+//!   experiments: fig10 fig11a fig11b fig11c table2 fig12 fig13 fig14
+//!                fig15 fig16 fig17 fig18 fig19 all
+//!   --scale F    multiply dataset sizes (default 1.0; 30 ≈ paper scale)
+//!   --seed N     master RNG seed (default 42)
+//!   --write PATH also append the markdown reports to PATH
+//! ```
+
+use gb_bench::experiments;
+use gb_bench::report::Report;
+use gb_bench::Ctx;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|all> \
+         [--scale F] [--seed N] [--write PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let exp = args[0].clone();
+    let mut ctx = Ctx::default();
+    let mut write_path: Option<String> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--write" => {
+                i += 1;
+                write_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    eprintln!("# repro: {exp} (scale {}, seed {})", ctx.scale, ctx.seed);
+    let t = gb_common::Timer::start();
+    let reports: Vec<Report> = match exp.as_str() {
+        "fig10" => vec![experiments::fig10(&ctx)],
+        "fig11a" => vec![experiments::fig11a(&ctx)],
+        "fig11b" => vec![experiments::fig11b(&ctx)],
+        "fig11c" | "table2" => vec![experiments::fig11c_table2(&ctx)],
+        "fig12" => vec![experiments::fig12(&ctx)],
+        "fig13" => vec![experiments::fig13(&ctx)],
+        "fig14" => vec![experiments::fig14(&ctx)],
+        "fig15" => vec![experiments::fig15(&ctx)],
+        "fig16" => vec![experiments::fig16(&ctx)],
+        "fig17" => vec![experiments::fig17(&ctx)],
+        "fig18" => vec![experiments::fig18(&ctx)],
+        "fig19" => vec![experiments::fig19(&ctx)],
+        "all" => experiments::all(&ctx),
+        _ => usage(),
+    };
+    eprintln!("# completed in {:.1} s", t.elapsed().as_secs_f64());
+
+    for r in &reports {
+        r.print();
+    }
+
+    if let Some(path) = write_path {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open report file");
+        for r in &reports {
+            writeln!(f, "{}", r.to_markdown()).expect("write report");
+        }
+        eprintln!("# appended {} report(s) to {path}", reports.len());
+    }
+}

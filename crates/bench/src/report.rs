@@ -1,0 +1,110 @@
+//! Markdown report tables for the repro harness.
+
+use std::fmt::Write as _;
+
+/// One experiment's output: a titled markdown table plus commentary.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. "fig12".
+    pub id: String,
+    /// Human title, e.g. "Figure 12: query runtime vs selectivity".
+    pub title: String,
+    /// What the paper reports (the shape we compare against).
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations comparing measured vs paper.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    pub fn new(id: &str, title: &str, paper_claim: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn headers(&mut self, headers: &[&str]) -> &mut Self {
+        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "**Paper:** {}\n", self.paper_claim);
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+            let _ = writeln!(
+                out,
+                "|{}|",
+                self.headers
+                    .iter()
+                    .map(|_| "---")
+                    .collect::<Vec<_>>()
+                    .join("|")
+            );
+            for row in &self.rows {
+                let _ = writeln!(out, "| {} |", row.join(" | "));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "- {n}");
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_table() {
+        let mut r = Report::new("figX", "demo", "shape");
+        r.headers(&["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.note("observation");
+        let md = r.to_markdown();
+        assert!(md.contains("## figX — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("- observation"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let r = Report::new("t", "empty", "claim");
+        let md = r.to_markdown();
+        assert!(md.contains("**Paper:** claim"));
+        assert!(!md.contains("|---|"));
+    }
+}

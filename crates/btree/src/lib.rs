@@ -1,0 +1,449 @@
+//! A from-scratch B+tree — the paper's "BTree" baseline substrate (§4.1).
+//!
+//! The paper indexes the sorted raw data with Google's cpp-btree as a
+//! secondary index over the one-dimensional spatial key: "We probe the tree
+//! for the first child and scan the sorted raw data until no further tuple
+//! qualifies." This crate provides the equivalent structure:
+//!
+//! * [`BPlusTree::bulk_load`] — build from already-sorted `(key, row)`
+//!   pairs (the common path: base data is sorted by spatial key),
+//! * [`BPlusTree::insert`] — standard top-down insert with node splits,
+//! * [`BPlusTree::lower_bound`] / [`BPlusTree::range`] — ordered scans via
+//!   linked leaves.
+//!
+//! Keys are `u64` spatial keys; duplicate keys are allowed (multiple points
+//! in one leaf cell). Values are `u32` row indices into the base data.
+//!
+//! The layout is arena-based (no per-node allocation churn, no unsafe):
+//! leaves and internal nodes live in two `Vec`s and reference each other by
+//! index.
+
+/// Maximum entries per leaf node.
+const LEAF_CAP: usize = 64;
+/// Maximum children per internal node.
+const INTERNAL_CAP: usize = 64;
+
+/// Reference to a node in one of the arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeRef {
+    Leaf(u32),
+    Internal(u32),
+}
+
+#[derive(Debug, Default, Clone)]
+struct Leaf {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    /// Next leaf in key order (`u32::MAX` = none).
+    next: u32,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Internal {
+    /// `keys[i]` = smallest key in the subtree of `children[i + 1]`.
+    keys: Vec<u64>,
+    children: Vec<NodeRef>,
+}
+
+/// A B+tree multimap from `u64` keys to `u32` values.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    leaves: Vec<Leaf>,
+    internals: Vec<Internal>,
+    root: Option<NodeRef>,
+    len: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            leaves: Vec::new(),
+            internals: Vec::new(),
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Build from `(key, value)` pairs that are already sorted by key.
+    ///
+    /// Leaves are packed to ~100 % fill (the index is read-mostly, like the
+    /// paper's); internal levels are built bottom-up in one pass each.
+    pub fn bulk_load(pairs: &[(u64, u32)]) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "pairs must be sorted"
+        );
+        let mut tree = BPlusTree::new();
+        tree.len = pairs.len();
+        if pairs.is_empty() {
+            return tree;
+        }
+
+        // Pack leaves.
+        for chunk in pairs.chunks(LEAF_CAP) {
+            tree.leaves.push(Leaf {
+                keys: chunk.iter().map(|p| p.0).collect(),
+                vals: chunk.iter().map(|p| p.1).collect(),
+                next: u32::MAX,
+            });
+        }
+        let n_leaves = tree.leaves.len();
+        for i in 0..n_leaves - 1 {
+            tree.leaves[i].next = (i + 1) as u32;
+        }
+
+        // Build internal levels bottom-up.
+        let mut level: Vec<(u64, NodeRef)> = (0..n_leaves)
+            .map(|i| (tree.leaves[i].keys[0], NodeRef::Leaf(i as u32)))
+            .collect();
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len().div_ceil(INTERNAL_CAP));
+            for chunk in level.chunks(INTERNAL_CAP) {
+                let node = Internal {
+                    keys: chunk[1..].iter().map(|c| c.0).collect(),
+                    children: chunk.iter().map(|c| c.1).collect(),
+                };
+                let first_key = chunk[0].0;
+                tree.internals.push(node);
+                next_level.push((
+                    first_key,
+                    NodeRef::Internal((tree.internals.len() - 1) as u32),
+                ));
+            }
+            level = next_level;
+        }
+        tree.root = Some(level[0].1);
+        tree
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = just a leaf). 0 for the empty tree.
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut node = self.root;
+        while let Some(n) = node {
+            h += 1;
+            node = match n {
+                NodeRef::Leaf(_) => None,
+                NodeRef::Internal(i) => Some(self.internals[i as usize].children[0]),
+            };
+        }
+        h
+    }
+
+    /// Approximate heap usage — the Figure-11b size-overhead numerator.
+    pub fn memory_bytes(&self) -> usize {
+        let leaf_bytes: usize = self
+            .leaves
+            .iter()
+            .map(|l| l.keys.len() * 8 + l.vals.len() * 4 + 4)
+            .sum();
+        let int_bytes: usize = self
+            .internals
+            .iter()
+            .map(|i| i.keys.len() * 8 + i.children.len() * 8)
+            .sum();
+        leaf_bytes + int_bytes
+    }
+
+    /// Insert one `(key, value)` pair (duplicates allowed).
+    pub fn insert(&mut self, key: u64, value: u32) {
+        self.len += 1;
+        match self.root {
+            None => {
+                self.leaves.push(Leaf {
+                    keys: vec![key],
+                    vals: vec![value],
+                    next: u32::MAX,
+                });
+                self.root = Some(NodeRef::Leaf(0));
+            }
+            Some(root) => {
+                if let Some((split_key, right)) = self.insert_rec(root, key, value) {
+                    let new_root = Internal {
+                        keys: vec![split_key],
+                        children: vec![root, right],
+                    };
+                    self.internals.push(new_root);
+                    self.root = Some(NodeRef::Internal((self.internals.len() - 1) as u32));
+                }
+            }
+        }
+    }
+
+    /// Recursive insert; returns `(first_key_of_right, right_node)` when the
+    /// child split.
+    fn insert_rec(&mut self, node: NodeRef, key: u64, value: u32) -> Option<(u64, NodeRef)> {
+        match node {
+            NodeRef::Leaf(li) => {
+                let li = li as usize;
+                let pos = self.leaves[li].keys.partition_point(|&k| k <= key);
+                self.leaves[li].keys.insert(pos, key);
+                self.leaves[li].vals.insert(pos, value);
+                (self.leaves[li].keys.len() > LEAF_CAP).then(|| self.split_leaf(li))
+            }
+            NodeRef::Internal(ii) => {
+                let idx = self.internals[ii as usize]
+                    .keys
+                    .partition_point(|&k| k <= key);
+                let child = self.internals[ii as usize].children[idx];
+                let split = self.insert_rec(child, key, value)?;
+                let node = &mut self.internals[ii as usize];
+                node.keys.insert(idx, split.0);
+                node.children.insert(idx + 1, split.1);
+                (node.children.len() > INTERNAL_CAP).then(|| self.split_internal(ii as usize))
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, li: usize) -> (u64, NodeRef) {
+        let mid = self.leaves[li].keys.len() / 2;
+        let right = Leaf {
+            keys: self.leaves[li].keys.split_off(mid),
+            vals: self.leaves[li].vals.split_off(mid),
+            next: self.leaves[li].next,
+        };
+        let split_key = right.keys[0];
+        self.leaves.push(right);
+        let ri = (self.leaves.len() - 1) as u32;
+        self.leaves[li].next = ri;
+        (split_key, NodeRef::Leaf(ri))
+    }
+
+    fn split_internal(&mut self, ii: usize) -> (u64, NodeRef) {
+        let mid = self.internals[ii].children.len() / 2;
+        // keys has len = children - 1. Key at mid-1 moves up.
+        let up_key = self.internals[ii].keys[mid - 1];
+        let right = Internal {
+            keys: self.internals[ii].keys.split_off(mid),
+            children: self.internals[ii].children.split_off(mid),
+        };
+        self.internals[ii].keys.pop(); // drop the separator that moved up
+        self.internals.push(right);
+        (up_key, NodeRef::Internal((self.internals.len() - 1) as u32))
+    }
+
+    /// Cursor at the first entry with key ≥ `key`.
+    pub fn lower_bound(&self, key: u64) -> Cursor<'_> {
+        let Some(mut node) = self.root else {
+            return Cursor {
+                tree: self,
+                leaf: u32::MAX,
+                slot: 0,
+            };
+        };
+        loop {
+            match node {
+                NodeRef::Internal(ii) => {
+                    let n = &self.internals[ii as usize];
+                    // Strict comparison: on equality descend LEFT, because
+                    // duplicates of `key` can end the left subtree when a
+                    // run of equal keys straddles a node boundary (the
+                    // separator is the right subtree's first key). The
+                    // leaf-link walk then finds the first occurrence.
+                    let idx = n.keys.partition_point(|&k| k < key);
+                    node = n.children[idx];
+                }
+                NodeRef::Leaf(li) => {
+                    let leaf = &self.leaves[li as usize];
+                    let slot = leaf.keys.partition_point(|&k| k < key);
+                    let mut cur = Cursor {
+                        tree: self,
+                        leaf: li,
+                        slot,
+                    };
+                    if slot == leaf.keys.len() {
+                        cur.advance_leaf();
+                    }
+                    return cur;
+                }
+            }
+        }
+    }
+
+    /// Iterate entries with `lo ≤ key ≤ hi`.
+    pub fn range(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, u32)> + '_ {
+        let mut cur = self.lower_bound(lo);
+        std::iter::from_fn(move || {
+            let (k, v) = cur.peek()?;
+            if k > hi {
+                return None;
+            }
+            cur.advance();
+            Some((k, v))
+        })
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.range(0, u64::MAX)
+    }
+}
+
+/// A forward cursor over leaf entries.
+pub struct Cursor<'a> {
+    tree: &'a BPlusTree,
+    leaf: u32,
+    slot: usize,
+}
+
+impl Cursor<'_> {
+    /// Current entry, or `None` at the end.
+    pub fn peek(&self) -> Option<(u64, u32)> {
+        if self.leaf == u32::MAX {
+            return None;
+        }
+        let leaf = &self.tree.leaves[self.leaf as usize];
+        leaf.keys.get(self.slot).map(|&k| (k, leaf.vals[self.slot]))
+    }
+
+    /// Advance to the next entry.
+    pub fn advance(&mut self) {
+        if self.leaf == u32::MAX {
+            return;
+        }
+        self.slot += 1;
+        if self.slot >= self.tree.leaves[self.leaf as usize].keys.len() {
+            self.advance_leaf();
+        }
+    }
+
+    fn advance_leaf(&mut self) {
+        // Skip any empty leaves (possible only in degenerate trees).
+        loop {
+            self.leaf = self.tree.leaves[self.leaf as usize].next;
+            self.slot = 0;
+            if self.leaf == u32::MAX || !self.tree.leaves[self.leaf as usize].keys.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64) -> Vec<(u64, u32)> {
+        (0..n).map(|i| (i * 3, i as u32)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.iter().count(), 0);
+        assert!(t.lower_bound(5).peek().is_none());
+    }
+
+    #[test]
+    fn bulk_load_iterates_in_order() {
+        let p = pairs(1000);
+        let t = BPlusTree::bulk_load(&p);
+        assert_eq!(t.len(), 1000);
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(got, p);
+        assert!(t.height() >= 2);
+    }
+
+    #[test]
+    fn lower_bound_exact_and_between() {
+        let t = BPlusTree::bulk_load(&pairs(100));
+        assert_eq!(t.lower_bound(30).peek(), Some((30, 10)));
+        assert_eq!(t.lower_bound(31).peek(), Some((33, 11)));
+        assert_eq!(t.lower_bound(0).peek(), Some((0, 0)));
+        assert!(t.lower_bound(300).peek().is_none());
+    }
+
+    #[test]
+    fn range_scan() {
+        let t = BPlusTree::bulk_load(&pairs(100));
+        let got: Vec<_> = t.range(30, 40).collect();
+        assert_eq!(got, vec![(30, 10), (33, 11), (36, 12), (39, 13)]);
+        assert_eq!(t.range(301, 400).count(), 0);
+        // Range over everything.
+        assert_eq!(t.range(0, u64::MAX).count(), 100);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let p: Vec<(u64, u32)> = vec![(5, 0), (5, 1), (5, 2), (9, 3)];
+        let t = BPlusTree::bulk_load(&p);
+        let got: Vec<_> = t.range(5, 5).collect();
+        assert_eq!(got.len(), 3);
+        let mut t2 = BPlusTree::new();
+        for &(k, v) in &p {
+            t2.insert(k, v);
+        }
+        assert_eq!(t2.range(5, 5).count(), 3);
+    }
+
+    #[test]
+    fn insert_matches_bulk_load() {
+        let mut p = pairs(2000);
+        // Insert in shuffled order.
+        let mut shuffled = p.clone();
+        let mut state = 12345u64;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut t = BPlusTree::new();
+        for (k, v) in shuffled {
+            t.insert(k, v);
+        }
+        p.sort_unstable();
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(got.len(), p.len());
+        let keys: Vec<u64> = got.iter().map(|e| e.0).collect();
+        let want: Vec<u64> = p.iter().map(|e| e.0).collect();
+        assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn memory_accounting_scales() {
+        let small = BPlusTree::bulk_load(&pairs(100));
+        let large = BPlusTree::bulk_load(&pairs(10_000));
+        assert!(large.memory_bytes() > small.memory_bytes() * 50);
+        // Roughly 12 bytes/entry + internals.
+        let per_entry = large.memory_bytes() as f64 / 10_000.0;
+        assert!(
+            per_entry > 11.0 && per_entry < 16.0,
+            "per entry {per_entry}"
+        );
+    }
+
+    #[test]
+    fn mixed_bulk_and_insert() {
+        let mut t = BPlusTree::bulk_load(&pairs(500));
+        for i in 0..500u64 {
+            t.insert(i * 3 + 1, 10_000 + i as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        let got: Vec<u64> = t.iter().map(|e| e.0).collect();
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(got.len(), 1000);
+    }
+}

@@ -1,0 +1,84 @@
+//! Model-based property tests: the B+tree must behave exactly like a
+//! reference `BTreeMap<u64, Vec<u32>>` under arbitrary bulk loads, inserts,
+//! and range scans.
+
+use gb_btree::BPlusTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn model_range(model: &BTreeMap<u64, Vec<u32>>, lo: u64, hi: u64) -> Vec<(u64, u32)> {
+    model
+        .range(lo..=hi)
+        .flat_map(|(&k, vs)| vs.iter().map(move |&v| (k, v)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bulk_load_matches_model(
+        mut pairs in prop::collection::vec((0u64..1_000, 0u32..10_000), 0..600),
+        ranges in prop::collection::vec((0u64..1_100, 0u64..1_100), 1..8),
+    ) {
+        pairs.sort_unstable();
+        let tree = BPlusTree::bulk_load(&pairs);
+        let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for &(k, v) in &pairs {
+            model.entry(k).or_default().push(v);
+        }
+        prop_assert_eq!(tree.len(), pairs.len());
+        // Full iteration order.
+        let got: Vec<(u64, u32)> = tree.iter().collect();
+        let want: Vec<(u64, u32)> = model_range(&model, 0, u64::MAX);
+        prop_assert_eq!(got, want);
+        // Arbitrary range scans.
+        for &(a, b) in &ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let got: Vec<(u64, u32)> = tree.range(lo, hi).collect();
+            prop_assert_eq!(got, model_range(&model, lo, hi), "range {}..={}", lo, hi);
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_match_model(
+        ops in prop::collection::vec((0u64..500, 0u32..10_000), 0..500),
+        probes in prop::collection::vec(0u64..600, 1..10),
+    ) {
+        let mut tree = BPlusTree::new();
+        let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for &(k, v) in &ops {
+            tree.insert(k, v);
+            model.entry(k).or_default().push(v);
+        }
+        prop_assert_eq!(tree.len(), ops.len());
+        for &p in &probes {
+            let got = tree.lower_bound(p).peek().map(|e| e.0);
+            let want = model.range(p..).next().map(|(&k, _)| k);
+            prop_assert_eq!(got, want, "lower_bound({})", p);
+        }
+        // Keys come out sorted with duplicates grouped.
+        let keys: Vec<u64> = tree.iter().map(|e| e.0).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mixed_bulk_then_insert_matches_model(
+        mut initial in prop::collection::vec((0u64..300, 0u32..10_000), 0..300),
+        extra in prop::collection::vec((0u64..300, 0u32..10_000), 0..150),
+    ) {
+        initial.sort_unstable();
+        let mut tree = BPlusTree::bulk_load(&initial);
+        let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for &(k, v) in &initial {
+            model.entry(k).or_default().push(v);
+        }
+        for &(k, v) in &extra {
+            tree.insert(k, v);
+            model.entry(k).or_default().push(v);
+        }
+        let got_keys: Vec<u64> = tree.iter().map(|e| e.0).collect();
+        let want_keys: Vec<u64> = model_range(&model, 0, u64::MAX).iter().map(|e| e.0).collect();
+        prop_assert_eq!(got_keys, want_keys);
+    }
+}

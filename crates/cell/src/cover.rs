@@ -1,0 +1,428 @@
+//! Polygon → cell-covering computation (the paper's §3.1 "polygon
+//! approximation", Figure 4).
+//!
+//! The covering maps an arbitrary query polygon to a set of cells, possibly
+//! at different levels. Two regimes matter:
+//!
+//! * **Error-bounded covering** (the default, used by GeoBlocks queries):
+//!   cells *fully inside* the polygon may stay coarse — they contribute no
+//!   boundary error and make COUNT queries cheaper (§3.5 "we benefit from
+//!   having larger query cells"). Cells that touch the outline are always
+//!   subdivided down to `max_level`, so every covering cell is within the
+//!   block-level cell diagonal of the polygon: the §3.2 bound.
+//! * **Budgeted covering** (`max_cells`): an S2-RegionCoverer-style
+//!   approximation that stops subdividing when the budget is reached. Used
+//!   by ablation benches; the error bound then no longer holds.
+//!
+//! The covering is always a **superset** of the polygon (false positives
+//! only, §4.3), which the property tests assert.
+
+use crate::grid::Grid;
+use crate::id::{CellId, MAX_LEVEL};
+use crate::union::CellUnion;
+#[cfg(test)]
+use gb_geom::{classify_rect, RectRelation};
+use gb_geom::{Polygon, Rect};
+
+/// Options controlling [`cover_polygon`].
+#[derive(Debug, Clone, Copy)]
+pub struct CovererOptions {
+    /// Deepest level used; boundary cells end up exactly here. This is the
+    /// GeoBlock's block level when covering for a query.
+    pub max_level: u8,
+    /// Coarsest level allowed in the output. Cells above this are
+    /// subdivided even when fully interior. Default 0 (no constraint).
+    pub min_level: u8,
+    /// Optional soft cap on the number of cells. `None` (default) keeps
+    /// the error-bounded behaviour.
+    pub max_cells: Option<usize>,
+}
+
+impl CovererOptions {
+    /// Error-bounded covering at `max_level`.
+    pub fn at_level(max_level: u8) -> Self {
+        CovererOptions {
+            max_level,
+            min_level: 0,
+            max_cells: None,
+        }
+    }
+}
+
+impl Default for CovererOptions {
+    fn default() -> Self {
+        CovererOptions::at_level(MAX_LEVEL)
+    }
+}
+
+/// A polygon edge with its bounding box, for hierarchical clipping.
+struct ClipEdge {
+    a: gb_geom::Point,
+    b: gb_geom::Point,
+    bbox: Rect,
+}
+
+/// True if the closed segment shares any point with the closed rect.
+#[inline]
+fn edge_touches_rect(e: &ClipEdge, rect: &Rect) -> bool {
+    e.bbox.intersects(rect) && gb_geom::segment_intersects_rect(e.a, e.b, rect)
+}
+
+/// Compute a cell covering of `poly` on `grid`.
+///
+/// Returns a normalized [`CellUnion`]; empty if the polygon lies outside
+/// the grid domain.
+///
+/// The recursion keeps, per cell, only the polygon edges that touch the
+/// cell's rectangle (hierarchical clipping): classification cost shrinks
+/// with depth, so query-time coverings stay in the microsecond range —
+/// the covering is computed on the fly for every query (§3.1).
+pub fn cover_polygon(grid: &Grid, poly: &Polygon, opts: CovererOptions) -> CellUnion {
+    assert!(opts.max_level <= MAX_LEVEL);
+    assert!(opts.min_level <= opts.max_level);
+
+    // Start from the (up to four) cells at the bbox-matched level that
+    // contain the bounding-box corners. A single common ancestor can sit
+    // near the root whenever the bbox straddles a curve discontinuity —
+    // the corner set stays tight regardless and jointly covers the bbox
+    // (a bbox no larger than a cell spans at most a 2×2 cell window).
+    let bbox = poly.bbox().intersection(&grid.domain());
+    if bbox.is_empty() {
+        return CellUnion::new();
+    }
+    let mut lvl = 0u8;
+    while lvl < opts.max_level {
+        let (w, h) = grid.cell_size(lvl + 1);
+        if w < bbox.width() || h < bbox.height() {
+            break;
+        }
+        lvl += 1;
+    }
+    let mut starts: Vec<CellId> = bbox
+        .corners()
+        .iter()
+        .map(|&c| grid.leaf_for_point(c).parent_at(lvl))
+        .collect();
+    starts.sort_unstable();
+    starts.dedup();
+    let start_cursors: Vec<crate::curve::CurveCursor> = starts
+        .iter()
+        .map(|s| {
+            crate::curve::CurveCursor::at(
+                grid.curve(),
+                (1..=s.level()).map(|l| s.child_position(l)),
+            )
+        })
+        .collect();
+
+    let edges: Vec<ClipEdge> = poly
+        .edges()
+        .map(|(a, b)| ClipEdge {
+            a,
+            b,
+            bbox: Rect::bounding(&[a, b]),
+        })
+        .collect();
+    let all: Vec<u32> = (0..edges.len() as u32).collect();
+
+    let mut cov = Coverer {
+        poly,
+        edges,
+        opts,
+        out: Vec::new(),
+        budget_used: 0,
+        // One reusable candidate buffer per recursion depth: siblings at
+        // depth d consume their parent's buffer (d−1) and write their own
+        // into slot d, so no per-cell allocation happens.
+        scratch: vec![Vec::new(); usize::from(MAX_LEVEL) + 2],
+    };
+    for (start, cursor) in starts.into_iter().zip(start_cursors) {
+        let rect = grid.cell_rect(start);
+        cov.visit(start, rect, cursor, &all, 0);
+    }
+    CellUnion::from_cells_with_floor(cov.out, opts.min_level)
+}
+
+struct Coverer<'a> {
+    poly: &'a Polygon,
+    edges: Vec<ClipEdge>,
+    opts: CovererOptions,
+    out: Vec<CellId>,
+    /// Cells emitted or queued under the budgeted mode.
+    budget_used: usize,
+    /// Per-depth candidate-edge buffers (see `cover_polygon`).
+    scratch: Vec<Vec<u32>>,
+}
+
+impl Coverer<'_> {
+    /// Recurse into the four children of `cell`, deriving each child's rect
+    /// from the parent rect via the curve cursor (no per-cell decode).
+    fn recurse_children(
+        &mut self,
+        cell: CellId,
+        rect: Rect,
+        cursor: crate::curve::CurveCursor,
+        candidates: &[u32],
+        depth: usize,
+    ) {
+        let cx = (rect.min.x + rect.max.x) * 0.5;
+        let cy = (rect.min.y + rect.max.y) * 0.5;
+        for k in 0..4u8 {
+            let (dx, dy) = cursor.child_quadrant(k);
+            let child_rect = Rect::from_bounds(
+                if dx == 0 { rect.min.x } else { cx },
+                if dy == 0 { rect.min.y } else { cy },
+                if dx == 0 { cx } else { rect.max.x },
+                if dy == 0 { cy } else { rect.max.y },
+            );
+            self.visit(
+                cell.child(k),
+                child_rect,
+                cursor.child(k),
+                candidates,
+                depth + 1,
+            );
+        }
+    }
+
+    fn visit(
+        &mut self,
+        cell: CellId,
+        rect: Rect,
+        cursor: crate::curve::CurveCursor,
+        candidates: &[u32],
+        depth: usize,
+    ) {
+        // Edges still relevant for this cell, filtered into this depth's
+        // scratch buffer.
+        let mut local = std::mem::take(&mut self.scratch[depth]);
+        local.clear();
+        for &ei in candidates {
+            if edge_touches_rect(&self.edges[ei as usize], &rect) {
+                local.push(ei);
+            }
+        }
+
+        if local.is_empty() {
+            // No outline in this cell: uniformly inside or outside. The
+            // center cannot lie on the outline (that would require an edge
+            // inside the rect), so the fast ray cast suffices.
+            if self.poly.contains_point_fast(rect.center()) {
+                if cell.level() < self.opts.min_level {
+                    self.recurse_children(cell, rect, cursor, &local, depth);
+                } else {
+                    self.out.push(cell);
+                }
+            }
+            self.scratch[depth] = local;
+            return;
+        }
+
+        // Boundary cell.
+        if cell.level() >= self.opts.max_level {
+            self.out.push(cell);
+            self.scratch[depth] = local;
+            return;
+        }
+        if let Some(budget) = self.opts.max_cells {
+            if self.budget_used + 4 > budget {
+                self.out.push(cell);
+                self.scratch[depth] = local;
+                return;
+            }
+            self.budget_used += 3; // one cell replaced by up to four
+        }
+        let local_owned = local;
+        self.recurse_children(cell, rect, cursor, &local_owned, depth);
+        self.scratch[depth] = local_owned;
+    }
+}
+
+/// Covering of an axis-aligned rectangle (rectangles are constrained
+/// polygons; the evaluation's Figure 15 queries rectangles this way).
+pub fn cover_rect(grid: &Grid, rect: &Rect, opts: CovererOptions) -> CellUnion {
+    cover_polygon(grid, &Polygon::rectangle(*rect), opts)
+}
+
+/// Statistics about a covering, used in reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveringStats {
+    /// Total cells in the covering.
+    pub cells: usize,
+    /// Cells at exactly `max_level` (boundary cells).
+    pub max_level_cells: usize,
+    /// Coarsest level present.
+    pub min_level: u8,
+}
+
+/// Summarize a covering.
+pub fn covering_stats(union: &CellUnion, max_level: u8) -> CoveringStats {
+    let mut min_level = MAX_LEVEL;
+    let mut max_level_cells = 0usize;
+    for c in union.iter() {
+        min_level = min_level.min(c.level());
+        if c.level() == max_level {
+            max_level_cells += 1;
+        }
+    }
+    CoveringStats {
+        cells: union.len(),
+        max_level_cells,
+        min_level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_geom::Point;
+
+    fn grid() -> Grid {
+        Grid::hilbert(Rect::from_bounds(0.0, 0.0, 1024.0, 1024.0))
+    }
+
+    fn diamond(cx: f64, cy: f64, r: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(cx, cy - r),
+            Point::new(cx + r, cy),
+            Point::new(cx, cy + r),
+            Point::new(cx - r, cy),
+        ])
+    }
+
+    #[test]
+    fn covering_is_superset_of_polygon() {
+        let g = grid();
+        let poly = diamond(500.0, 500.0, 180.0);
+        let cov = cover_polygon(&g, &poly, CovererOptions::at_level(8));
+        assert!(!cov.is_empty());
+        // Every sampled interior point is covered.
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(330.0 + i as f64 * 8.6, 330.0 + j as f64 * 8.6);
+                if poly.contains_point(p) {
+                    assert!(cov.contains(g.leaf_for_point(p)), "{p:?} uncovered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covering_error_is_bounded_by_cell_diagonal() {
+        // §3.2: any point of the covering is within √(ε₁²+ε₂²) of the
+        // polygon, where ε are the block-level cell side lengths. Note the
+        // *cells* of the covering may be coarser (normalization merges
+        // complete sibling quartets) — the bound is on the covered REGION.
+        let g = grid();
+        let poly = diamond(500.0, 500.0, 180.0);
+        let level = 8;
+        let cov = cover_polygon(&g, &poly, CovererOptions::at_level(level));
+        let bound = g.cell_diagonal(level);
+        for cell in cov.iter() {
+            let r = g.cell_rect(cell);
+            assert_ne!(
+                classify_rect(&poly, &r),
+                RectRelation::Disjoint,
+                "covering contains a disjoint cell {cell:?}"
+            );
+            // Sample points inside the cell rect: each is either inside the
+            // polygon or within the error bound of its outline.
+            for i in 0..4 {
+                for j in 0..4 {
+                    let p = Point::new(
+                        r.min.x + r.width() * (i as f64 + 0.5) / 4.0,
+                        r.min.y + r.height() * (j as f64 + 0.5) / 4.0,
+                    );
+                    let d = gb_geom::interior::signed_distance(&poly, p);
+                    assert!(
+                        d >= -bound * 1.0001,
+                        "point {p:?} of covering cell {cell:?} is {} outside (> bound {bound})",
+                        -d
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_cells_may_be_coarse() {
+        let g = grid();
+        let poly = diamond(500.0, 500.0, 300.0);
+        let cov = cover_polygon(&g, &poly, CovererOptions::at_level(10));
+        let stats = covering_stats(&cov, 10);
+        assert!(
+            stats.min_level < 10,
+            "expected coarse interior cells, got {stats:?}"
+        );
+        assert!(stats.max_level_cells > 0, "boundary must be at max level");
+    }
+
+    #[test]
+    fn min_level_is_respected() {
+        let g = grid();
+        let poly = diamond(500.0, 500.0, 300.0);
+        let opts = CovererOptions {
+            max_level: 10,
+            min_level: 7,
+            max_cells: None,
+        };
+        let cov = cover_polygon(&g, &poly, opts);
+        for c in cov.iter() {
+            assert!(c.level() >= 7, "cell {c:?} coarser than min_level allows");
+        }
+    }
+
+    #[test]
+    fn budgeted_covering_respects_cap() {
+        let g = grid();
+        let poly = diamond(500.0, 500.0, 300.0);
+        let opts = CovererOptions {
+            max_level: 14,
+            min_level: 0,
+            max_cells: Some(32),
+        };
+        let cov = cover_polygon(&g, &poly, opts);
+        assert!(cov.len() <= 32, "got {} cells", cov.len());
+        assert!(!cov.is_empty());
+    }
+
+    #[test]
+    fn polygon_outside_domain_is_empty() {
+        let g = grid();
+        let poly = diamond(5000.0, 5000.0, 10.0);
+        let cov = cover_polygon(&g, &poly, CovererOptions::at_level(10));
+        assert!(cov.is_empty());
+    }
+
+    #[test]
+    fn rect_covering_matches_polygon_covering() {
+        let g = grid();
+        let r = Rect::from_bounds(100.0, 100.0, 300.0, 250.0);
+        let a = cover_rect(&g, &r, CovererOptions::at_level(9));
+        let b = cover_polygon(&g, &Polygon::rectangle(r), CovererOptions::at_level(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn finer_levels_reduce_covered_area() {
+        let g = grid();
+        let poly = diamond(500.0, 500.0, 200.0);
+        let coarse = cover_polygon(&g, &poly, CovererOptions::at_level(6));
+        let fine = cover_polygon(&g, &poly, CovererOptions::at_level(10));
+        // Finer covering hugs the polygon: strictly fewer covered leaves.
+        assert!(fine.leaf_count() < coarse.leaf_count());
+    }
+
+    #[test]
+    fn covering_works_on_morton_grid() {
+        let g = Grid::new(
+            Rect::from_bounds(0.0, 0.0, 1024.0, 1024.0),
+            crate::curve::CurveKind::Morton,
+        );
+        let poly = diamond(500.0, 500.0, 120.0);
+        let cov = cover_polygon(&g, &poly, CovererOptions::at_level(8));
+        assert!(!cov.is_empty());
+        let center = g.leaf_for_point(Point::new(500.0, 500.0));
+        assert!(cov.contains(center));
+    }
+}

@@ -1,0 +1,31 @@
+//! Hierarchical quadtree cell grid with S2-style 64-bit ids — the spatial
+//! decomposition substrate of the GeoBlocks reproduction (§3.1–§3.2).
+//!
+//! The paper builds on Google S2: a recursive 4-way subdivision of space
+//! whose cells are enumerated by an order-preserving space-filling curve and
+//! identified by 64-bit keys supporting prefix-based containment. This crate
+//! re-implements that machinery over a **planar bounded domain** (see the
+//! substitution table in `DESIGN.md`):
+//!
+//! * [`CellId`] — sentinel-encoded 64-bit cell identifiers with O(1)
+//!   `level` / `parent` / `children` / `range_min..range_max` / `contains`,
+//! * [`CurveKind`] — Hilbert (default, as the paper) and Morton (ablation)
+//!   enumerations, both hierarchical,
+//! * [`Grid`] — the world-rectangle ↔ cell mapping, per-level cell sizes,
+//!   and the error-bound helper [`Grid::level_for_error`],
+//! * [`CellUnion`] — normalized sorted cell sets,
+//! * [`cover_polygon`] — the region coverer producing **error-bounded**
+//!   polygon coverings (boundary cells at the block level, interior cells
+//!   possibly coarse), plus a budgeted approximate mode.
+
+pub mod cover;
+pub mod curve;
+pub mod grid;
+pub mod id;
+pub mod union;
+
+pub use cover::{cover_polygon, cover_rect, covering_stats, CovererOptions, CoveringStats};
+pub use curve::{CurveCursor, CurveKind};
+pub use grid::Grid;
+pub use id::{CellId, MAX_LEVEL};
+pub use union::CellUnion;

@@ -1,0 +1,74 @@
+//! Human-readable formatting for harness reports.
+
+use std::time::Duration;
+
+/// Format a byte count as `B`, `KiB`, `MiB`, or `GiB` with two decimals.
+pub fn bytes(n: usize) -> String {
+    const KIB: f64 = 1024.0;
+    let n = n as f64;
+    if n < KIB {
+        format!("{n:.0} B")
+    } else if n < KIB * KIB {
+        format!("{:.2} KiB", n / KIB)
+    } else if n < KIB * KIB * KIB {
+        format!("{:.2} MiB", n / (KIB * KIB))
+    } else {
+        format!("{:.2} GiB", n / (KIB * KIB * KIB))
+    }
+}
+
+/// Format a duration adaptively (`ns`, `µs`, `ms`, `s`).
+pub fn duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn percent(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+/// Format a speedup factor (`12.3×`).
+pub fn speedup(factor: f64) -> String {
+    if factor >= 100.0 {
+        format!("{factor:.0}×")
+    } else {
+        format!("{factor:.1}×")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_units() {
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.00 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert_eq!(bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(duration(Duration::from_secs(4)), "4.000 s");
+    }
+
+    #[test]
+    fn percent_and_speedup() {
+        assert_eq!(percent(0.4567), "45.7%");
+        assert_eq!(speedup(3.15), "3.1×");
+        assert_eq!(speedup(1667.0), "1667×");
+    }
+}

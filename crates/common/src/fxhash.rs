@@ -1,0 +1,178 @@
+//! The FxHash algorithm (as used by the Rust compiler), reimplemented.
+//!
+//! FxHash is a very fast, low-quality multiplicative hash. It is the right
+//! choice for the hot paths in this workspace: all keys are 64-bit cell ids
+//! whose entropy is already well spread, and HashDoS resistance is
+//! irrelevant for an in-memory analytics index. Hand-rolled here (≈40 lines)
+//! so we stay within the sanctioned dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit golden-ratio constant used by the Fx multiplicative mix.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] for small keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Multiplicative mixing concentrates entropy in the HIGH bits (the
+        // low n bits of a product depend only on the low n bits of the
+        // operands), while hashbrown buckets on the LOW bits. Keys sharing
+        // low bits — e.g. same-level cell ids, whose low ~40 bits are a
+        // constant sentinel pattern — would otherwise all collide and turn
+        // every map operation into a linear probe chain. The murmur3
+        // fmix64 finalizer pushes entropy into every output bit.
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^ (h >> 33)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail. Keys in this workspace
+        // are fixed-size integers, so this loop almost never runs more than
+        // once.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= u64::from(b) << (8 * i);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("geoblocks"), hash_one("geoblocks"));
+    }
+
+    #[test]
+    fn distinct_inputs_differ() {
+        // Not a collision-resistance claim, just a smoke test that the mix
+        // actually incorporates the input.
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one(0u64), hash_one(u64::MAX));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_tail() {
+        // write() must consume tails shorter than 8 bytes.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        let tail_only = h.finish();
+        assert_ne!(tail_only, 0);
+    }
+
+    #[test]
+    fn map_usable() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+    }
+
+    #[test]
+    fn low_bits_spread_for_shared_suffix_keys() {
+        // Cell-id-shaped keys: identical low 41 bits, entropy only above.
+        // The finishing rotation must spread them across low-bit buckets.
+        let hasher = FxBuildHasher::default();
+        let mut low7 = std::collections::HashSet::new();
+        for i in 0..128u64 {
+            let key = (i << 41) | (1 << 40); // sentinel-style constant tail
+            low7.insert(hasher.hash_one(key) & 0x7f);
+        }
+        assert!(
+            low7.len() > 32,
+            "only {} distinct low-bit buckets",
+            low7.len()
+        );
+    }
+
+    #[test]
+    fn insert_many_shared_suffix_keys_is_fast_enough() {
+        // Quadratic collision chains would make this take seconds.
+        let t = std::time::Instant::now();
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..200_000u64 {
+            m.insert((i << 41) | (1 << 40), i);
+        }
+        assert_eq!(m.len(), 200_000);
+        assert!(t.elapsed().as_secs_f64() < 2.0, "took {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn set_usable() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+}

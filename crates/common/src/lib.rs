@@ -1,0 +1,23 @@
+//! Shared infrastructure for the GeoBlocks reproduction.
+//!
+//! This crate deliberately has almost no dependencies; it provides the small
+//! utilities every other crate needs:
+//!
+//! * [`fxhash`] — a fast, non-cryptographic hasher (the FxHash algorithm used
+//!   by rustc), hand-written here so the workspace does not need an extra
+//!   dependency. Hashing of small integer keys (cell ids) is hot in the
+//!   query-cache statistics path.
+//! * [`rng`] — deterministic seeded RNG construction so every dataset,
+//!   polygon, and workload in the repository is reproducible.
+//! * [`timer`] — simple wall-clock timing helpers used by the benchmark
+//!   harness (Criterion is used for micro-benches; the harness needs plain
+//!   phase timing to reproduce the paper's build-time tables).
+//! * [`fmt`] — human-readable byte/duration formatting for reports.
+
+pub mod fmt;
+pub mod fxhash;
+pub mod rng;
+pub mod timer;
+
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use timer::Timer;

@@ -1,0 +1,76 @@
+//! Deterministic RNG construction.
+//!
+//! Every generator in the workspace (datasets, polygons, workloads) takes an
+//! explicit `u64` seed and derives its stream through [`rng_from_seed`], so
+//! that experiments are exactly reproducible run-to-run and the same data can
+//! be regenerated inside tests, examples, and the benchmark harness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a [`StdRng`] from a 64-bit seed.
+///
+/// The seed is diffused through SplitMix64 so that adjacent integer seeds
+/// (`0`, `1`, `2`, …, as naturally used in parameter sweeps) produce
+/// uncorrelated streams.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    let mut state = seed;
+    let mut seed_bytes = [0u8; 32];
+    for chunk in seed_bytes.chunks_exact_mut(8) {
+        state = splitmix64(state);
+        chunk.copy_from_slice(&state.to_le_bytes());
+    }
+    StdRng::from_seed(seed_bytes)
+}
+
+/// Derive a sub-seed for a named component from a master seed.
+///
+/// Used so that e.g. the point generator and the polygon generator of one
+/// experiment share a master seed but do not consume from the same stream.
+pub fn derive_seed(master: u64, component: &str) -> u64 {
+    let mut h = crate::fxhash::FxHasher::default();
+    use std::hash::Hasher;
+    h.write_u64(master);
+    h.write(component.as_bytes());
+    splitmix64(h.finish())
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(2);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_component() {
+        let s1 = derive_seed(42, "points");
+        let s2 = derive_seed(42, "polygons");
+        assert_ne!(s1, s2);
+        // And are stable.
+        assert_eq!(s1, derive_seed(42, "points"));
+    }
+}

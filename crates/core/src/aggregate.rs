@@ -1,0 +1,245 @@
+//! Aggregate accumulation for SELECT queries.
+//!
+//! §3.4: a cell aggregate maintains, per column, the minimum / maximum /
+//! sum of all contained values plus the tuple count; `avg` is derived as
+//! `sum / count`. A query requests an arbitrary subset of aggregates
+//! ([`AggSpec`]) and the combiner only touches the requested ones — which
+//! is what makes Figure 10's "number of aggregates" axis meaningful.
+
+use gb_data::{AggFunc, AggSpec};
+
+/// Accumulator / result of a spatial aggregation query.
+///
+/// `values[i]` corresponds to `spec.requests[i]`. While accumulating, `Avg`
+/// slots hold running sums; [`AggResult::finalize`] divides by the count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggResult {
+    /// Number of tuples aggregated.
+    pub count: u64,
+    values: Vec<f64>,
+    finalized: bool,
+}
+
+impl AggResult {
+    /// A fresh accumulator for `spec`.
+    pub fn new(spec: &AggSpec) -> Self {
+        let values = spec
+            .requests
+            .iter()
+            .map(|r| match r.func {
+                AggFunc::Min => f64::INFINITY,
+                AggFunc::Max => f64::NEG_INFINITY,
+                AggFunc::Sum | AggFunc::Avg | AggFunc::Count => 0.0,
+            })
+            .collect();
+        AggResult {
+            count: 0,
+            values,
+            finalized: false,
+        }
+    }
+
+    /// Fold one pre-aggregated record into the accumulator.
+    ///
+    /// The record is `count` tuples with per-column min/max/sum given by the
+    /// accessor closures (indexed by column).
+    #[inline]
+    pub fn combine_record(
+        &mut self,
+        spec: &AggSpec,
+        count: u64,
+        min_of: impl Fn(usize) -> f64,
+        max_of: impl Fn(usize) -> f64,
+        sum_of: impl Fn(usize) -> f64,
+    ) {
+        debug_assert!(!self.finalized, "cannot combine after finalize");
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        for (slot, req) in self.values.iter_mut().zip(&spec.requests) {
+            match req.func {
+                AggFunc::Count => {}
+                AggFunc::Sum | AggFunc::Avg => *slot += sum_of(req.column),
+                AggFunc::Min => *slot = slot.min(min_of(req.column)),
+                AggFunc::Max => *slot = slot.max(max_of(req.column)),
+            }
+        }
+    }
+
+    /// Fold a single raw tuple (used by the on-the-fly baselines so that
+    /// all approaches share one result type).
+    #[inline]
+    pub fn combine_tuple(&mut self, spec: &AggSpec, value_of: impl Fn(usize) -> f64) {
+        debug_assert!(!self.finalized);
+        self.count += 1;
+        for (slot, req) in self.values.iter_mut().zip(&spec.requests) {
+            match req.func {
+                AggFunc::Count => {}
+                AggFunc::Sum | AggFunc::Avg => *slot += value_of(req.column),
+                AggFunc::Min => *slot = slot.min(value_of(req.column)),
+                AggFunc::Max => *slot = slot.max(value_of(req.column)),
+            }
+        }
+    }
+
+    /// Merge another (non-finalized) accumulator of the same spec.
+    pub fn merge(&mut self, spec: &AggSpec, other: &AggResult) {
+        debug_assert!(!self.finalized && !other.finalized);
+        self.count += other.count;
+        for ((slot, req), &ov) in self
+            .values
+            .iter_mut()
+            .zip(&spec.requests)
+            .zip(&other.values)
+        {
+            match req.func {
+                AggFunc::Count => {}
+                AggFunc::Sum | AggFunc::Avg => *slot += ov,
+                AggFunc::Min => *slot = slot.min(ov),
+                AggFunc::Max => *slot = slot.max(ov),
+            }
+        }
+    }
+
+    /// Resolve `Avg` and `Count` slots. Idempotent accumulation ends here.
+    pub fn finalize(mut self, spec: &AggSpec) -> AggResult {
+        if !self.finalized {
+            for (slot, req) in self.values.iter_mut().zip(&spec.requests) {
+                match req.func {
+                    AggFunc::Avg => {
+                        *slot = if self.count > 0 {
+                            *slot / self.count as f64
+                        } else {
+                            f64::NAN
+                        }
+                    }
+                    AggFunc::Count => *slot = self.count as f64,
+                    _ => {}
+                }
+            }
+            self.finalized = true;
+        }
+        self
+    }
+
+    /// Value of the `i`-th requested aggregate. `None` when no tuples
+    /// matched and the aggregate is undefined (min/max/avg of nothing —
+    /// left as ±∞/NaN sentinels by the accumulator).
+    pub fn value(&self, i: usize) -> Option<f64> {
+        let v = self.values[i];
+        if v.is_nan() || v.is_infinite() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// All raw slot values (primarily for tests / reports).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Approximate equality to another result (same spec), for tests.
+    pub fn approx_eq(&self, other: &AggResult, tol: f64) -> bool {
+        if self.count != other.count || self.values.len() != other.values.len() {
+            return false;
+        }
+        self.values.iter().zip(&other.values).all(|(a, b)| {
+            (a.is_nan() && b.is_nan())
+                || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+                || (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_data::AggRequest;
+
+    fn spec() -> AggSpec {
+        AggSpec::new(vec![
+            AggRequest::new(AggFunc::Count, 0),
+            AggRequest::new(AggFunc::Sum, 0),
+            AggRequest::new(AggFunc::Min, 1),
+            AggRequest::new(AggFunc::Max, 1),
+            AggRequest::new(AggFunc::Avg, 0),
+        ])
+    }
+
+    #[test]
+    fn tuple_accumulation() {
+        let s = spec();
+        let mut r = AggResult::new(&s);
+        // Two tuples: col0 = 10/20, col1 = -1/5.
+        r.combine_tuple(&s, |c| if c == 0 { 10.0 } else { -1.0 });
+        r.combine_tuple(&s, |c| if c == 0 { 20.0 } else { 5.0 });
+        let r = r.finalize(&s);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.value(0), Some(2.0)); // count
+        assert_eq!(r.value(1), Some(30.0)); // sum col0
+        assert_eq!(r.value(2), Some(-1.0)); // min col1
+        assert_eq!(r.value(3), Some(5.0)); // max col1
+        assert_eq!(r.value(4), Some(15.0)); // avg col0
+    }
+
+    #[test]
+    fn record_accumulation_matches_tuples() {
+        let s = spec();
+        // Record: 3 tuples, col0 (min 1, max 7, sum 12), col1 (min 0, max 2, sum 3).
+        let mins = [1.0, 0.0];
+        let maxs = [7.0, 2.0];
+        let sums = [12.0, 3.0];
+        let mut r = AggResult::new(&s);
+        r.combine_record(&s, 3, |c| mins[c], |c| maxs[c], |c| sums[c]);
+        let r = r.finalize(&s);
+        assert_eq!(r.count, 3);
+        assert_eq!(r.value(1), Some(12.0));
+        assert_eq!(r.value(2), Some(0.0));
+        assert_eq!(r.value(3), Some(2.0));
+        assert_eq!(r.value(4), Some(4.0));
+    }
+
+    #[test]
+    fn empty_record_is_ignored() {
+        let s = spec();
+        let mut r = AggResult::new(&s);
+        r.combine_record(&s, 0, |_| 99.0, |_| 99.0, |_| 99.0);
+        let r = r.finalize(&s);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.value(0), Some(0.0)); // count of empty = 0
+        assert!(r.value(2).is_none()); // min undefined
+        assert!(r.value(4).is_none()); // avg undefined
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let s = spec();
+        let mut a = AggResult::new(&s);
+        let mut b = AggResult::new(&s);
+        a.combine_tuple(&s, |c| (c + 1) as f64);
+        b.combine_tuple(&s, |c| (c * 10) as f64);
+        let mut merged = AggResult::new(&s);
+        merged.merge(&s, &a);
+        merged.merge(&s, &b);
+
+        let mut straight = AggResult::new(&s);
+        straight.combine_tuple(&s, |c| (c + 1) as f64);
+        straight.combine_tuple(&s, |c| (c * 10) as f64);
+
+        assert!(merged.finalize(&s).approx_eq(&straight.finalize(&s), 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_detects_differences() {
+        let s = spec();
+        let mut a = AggResult::new(&s);
+        a.combine_tuple(&s, |_| 1.0);
+        let mut b = AggResult::new(&s);
+        b.combine_tuple(&s, |_| 2.0);
+        let (a, b) = (a.finalize(&s), b.finalize(&s));
+        assert!(!a.approx_eq(&b, 1e-9));
+        assert!(a.approx_eq(&a.clone(), 0.0));
+    }
+}

@@ -1,0 +1,283 @@
+//! The GeoBlock storage layout (§3.4, Figure 1).
+//!
+//! A GeoBlock stores one **cell aggregate** per non-empty grid cell at the
+//! block level, in ascending spatial-key order (the same order as the base
+//! data), plus a **global header** combining everything block-wide.
+//!
+//! Each cell aggregate holds: the cell's spatial key, the base-data offset
+//! of its first tuple, the tuple count, the min/max *leaf* keys of the
+//! contained tuples, and per-column min/max/sum. We lay the records out
+//! struct-of-arrays (columnar), which is both cache-friendlier for the
+//! query scans and a faithful byte-count match for the paper's fixed-size
+//! record layout.
+
+use crate::aggregate::AggResult;
+use gb_cell::{CellId, Grid};
+use gb_data::{AggSpec, Schema};
+
+/// A pre-aggregating materialized view over geospatial point data.
+#[derive(Debug, Clone)]
+pub struct GeoBlock {
+    pub(crate) grid: Grid,
+    pub(crate) level: u8,
+    pub(crate) schema: Schema,
+
+    // --- cell aggregates, SoA, sorted by `keys` ---
+    /// Block-level cell ids (raw), ascending.
+    pub(crate) keys: Vec<u64>,
+    /// Offset (in the block's base-data row order) of the first tuple.
+    pub(crate) offsets: Vec<u64>,
+    /// Tuples in the cell.
+    pub(crate) counts: Vec<u32>,
+    /// Minimum leaf key among the cell's tuples.
+    pub(crate) key_mins: Vec<u64>,
+    /// Maximum leaf key among the cell's tuples.
+    pub(crate) key_maxs: Vec<u64>,
+    /// Per-column minima, flattened `cell × column`.
+    pub(crate) mins: Vec<f64>,
+    /// Per-column maxima, flattened `cell × column`.
+    pub(crate) maxs: Vec<f64>,
+    /// Per-column sums, flattened `cell × column`.
+    pub(crate) sums: Vec<f64>,
+
+    // --- global header (§3.4) ---
+    /// Total tuples in the block.
+    pub(crate) n_rows: u64,
+    /// Smallest block-level cell id (raw) present.
+    pub(crate) min_cell: u64,
+    /// Largest block-level cell id (raw) present.
+    pub(crate) max_cell: u64,
+    /// Block-wide per-column (min, max, sum), flattened like one record.
+    pub(crate) global_mins: Vec<f64>,
+    pub(crate) global_maxs: Vec<f64>,
+    pub(crate) global_sums: Vec<f64>,
+
+    /// Set by updates: tuple offsets no longer match any base data, so
+    /// COUNT must sum per-cell counts instead of the offset range trick.
+    pub(crate) dirty_offsets: bool,
+}
+
+impl GeoBlock {
+    /// The grid this block decomposes.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The block level (grid resolution, §3.2).
+    #[inline]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// The attribute schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of non-empty grid cells (cell aggregates).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total tuples aggregated into the block.
+    #[inline]
+    pub fn num_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// The maximum spatial error of query answers: the cell diagonal at the
+    /// block level (§3.2).
+    pub fn error_bound(&self) -> f64 {
+        self.grid.cell_diagonal(self.level)
+    }
+
+    /// Number of attribute columns.
+    #[inline]
+    pub(crate) fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The cell id of aggregate `idx`.
+    #[inline]
+    pub fn cell_at(&self, idx: usize) -> CellId {
+        CellId::from_raw(self.keys[idx])
+    }
+
+    /// First aggregate index with key ≥ `key`, searching from `from`.
+    #[inline]
+    pub(crate) fn lower_bound_from(&self, key: u64, from: usize) -> usize {
+        from + self.keys[from..].partition_point(|&k| k < key)
+    }
+
+    /// First aggregate index with key > `key`, searching from `from`.
+    #[inline]
+    pub(crate) fn upper_bound_from(&self, key: u64, from: usize) -> usize {
+        from + self.keys[from..].partition_point(|&k| k <= key)
+    }
+
+    /// Fold cell aggregate `idx` into `result`.
+    #[inline]
+    pub(crate) fn combine_cell(&self, idx: usize, spec: &AggSpec, result: &mut AggResult) {
+        let c = self.n_cols();
+        let base = idx * c;
+        result.combine_record(
+            spec,
+            u64::from(self.counts[idx]),
+            |col| self.mins[base + col],
+            |col| self.maxs[base + col],
+            |col| self.sums[base + col],
+        );
+    }
+
+    /// The block-wide aggregate from the global header (100 % selectivity
+    /// answers come from here in O(1)).
+    pub fn global_aggregate(&self, spec: &AggSpec) -> AggResult {
+        let mut r = AggResult::new(spec);
+        r.combine_record(
+            spec,
+            self.n_rows,
+            |col| self.global_mins[col],
+            |col| self.global_maxs[col],
+            |col| self.global_sums[col],
+        );
+        r.finalize(spec)
+    }
+
+    /// Constant-time pre-check from the header: can `cell` overlap any
+    /// aggregate in this block? (§3.5 "thanks to the prefix-based
+    /// containment checks, this is possible in constant time".)
+    #[inline]
+    pub fn may_overlap(&self, cell: CellId) -> bool {
+        if self.keys.is_empty() {
+            return false;
+        }
+        cell.range_max().raw() >= self.min_cell_leaf_min()
+            && cell.range_min().raw() <= self.max_cell_leaf_max()
+    }
+
+    #[inline]
+    fn min_cell_leaf_min(&self) -> u64 {
+        CellId::from_raw(self.min_cell).range_min().raw()
+    }
+
+    #[inline]
+    fn max_cell_leaf_max(&self) -> u64 {
+        CellId::from_raw(self.max_cell).range_max().raw()
+    }
+
+    /// Bytes of one cell-aggregate record for this schema: key (8) +
+    /// offset (8) + count (4) + key min/max (16) + 3 × 8 per column.
+    pub fn record_bytes(&self) -> usize {
+        8 + 8 + 4 + 16 + 24 * self.n_cols()
+    }
+
+    /// Heap bytes of the cell aggregates + header — the Figure-11b
+    /// numerator for GeoBlocks.
+    pub fn memory_bytes(&self) -> usize {
+        self.num_cells() * self.record_bytes() + 3 * 8 * self.n_cols() + 32
+    }
+
+    /// Build a coarser GeoBlock at `level` from this one **without**
+    /// rescanning the base data (§3.4 "aggregate granularity"): merges the
+    /// cell aggregates of each coarse cell in a single pass.
+    pub fn coarsen(&self, level: u8) -> GeoBlock {
+        assert!(level <= self.level, "coarsen can only reduce the level");
+        if level == self.level {
+            return self.clone();
+        }
+        let c = self.n_cols();
+        let mut out = GeoBlock {
+            grid: self.grid,
+            level,
+            schema: self.schema.clone(),
+            keys: Vec::new(),
+            offsets: Vec::new(),
+            counts: Vec::new(),
+            key_mins: Vec::new(),
+            key_maxs: Vec::new(),
+            mins: Vec::new(),
+            maxs: Vec::new(),
+            sums: Vec::new(),
+            n_rows: self.n_rows,
+            min_cell: 0,
+            max_cell: 0,
+            global_mins: self.global_mins.clone(),
+            global_maxs: self.global_maxs.clone(),
+            global_sums: self.global_sums.clone(),
+            dirty_offsets: self.dirty_offsets,
+        };
+
+        let mut i = 0usize;
+        while i < self.keys.len() {
+            let parent = self.cell_at(i).parent_at(level);
+            let start = i;
+            out.keys.push(parent.raw());
+            out.offsets.push(self.offsets[i]);
+            out.key_mins.push(self.key_mins[i]);
+            let mut count = 0u64;
+            let mut key_max = 0u64;
+            let col_base = out.mins.len();
+            out.mins.extend_from_slice(&self.mins[i * c..(i + 1) * c]);
+            out.maxs.extend_from_slice(&self.maxs[i * c..(i + 1) * c]);
+            out.sums.extend_from_slice(&self.sums[i * c..(i + 1) * c]);
+            while i < self.keys.len() && parent.contains(self.cell_at(i)) {
+                count += u64::from(self.counts[i]);
+                key_max = key_max.max(self.key_maxs[i]);
+                if i > start {
+                    for col in 0..c {
+                        out.mins[col_base + col] =
+                            out.mins[col_base + col].min(self.mins[i * c + col]);
+                        out.maxs[col_base + col] =
+                            out.maxs[col_base + col].max(self.maxs[i * c + col]);
+                        out.sums[col_base + col] += self.sums[i * c + col];
+                    }
+                }
+                i += 1;
+            }
+            out.counts
+                .push(u32::try_from(count).expect("cell count fits u32"));
+            out.key_maxs.push(key_max);
+        }
+
+        out.min_cell = out.keys.first().copied().unwrap_or(0);
+        out.max_cell = out.keys.last().copied().unwrap_or(0);
+        debug_assert!(
+            out.keys.windows(2).all(|w| w[0] < w[1]),
+            "coarse keys unique+sorted"
+        );
+        out
+    }
+
+    /// Sanity-check internal invariants (used by tests and debug builds).
+    pub fn check_invariants(&self) {
+        let c = self.n_cols();
+        assert_eq!(self.offsets.len(), self.keys.len());
+        assert_eq!(self.counts.len(), self.keys.len());
+        assert_eq!(self.mins.len(), self.keys.len() * c);
+        assert!(
+            self.keys.windows(2).all(|w| w[0] < w[1]),
+            "keys strictly ascending"
+        );
+        let total: u64 = self.counts.iter().map(|&x| u64::from(x)).sum();
+        assert_eq!(total, self.n_rows, "counts sum to n_rows");
+        for (i, &k) in self.keys.iter().enumerate() {
+            let cell = CellId::from_raw(k);
+            assert_eq!(cell.level(), self.level, "cell at block level");
+            assert!(self.counts[i] > 0, "no empty cells stored");
+            // Leaf keys inside the cell's range.
+            assert!(cell.contains(CellId::from_raw(self.key_mins[i])));
+            assert!(cell.contains(CellId::from_raw(self.key_maxs[i])));
+        }
+        if !self.dirty_offsets {
+            // Offsets are a running prefix sum of counts.
+            let mut expect = self.offsets.first().copied().unwrap_or(0);
+            for i in 0..self.keys.len() {
+                assert_eq!(self.offsets[i], expect, "offset prefix-sum at {i}");
+                expect += u64::from(self.counts[i]);
+            }
+        }
+    }
+}

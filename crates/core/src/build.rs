@@ -1,0 +1,269 @@
+//! Building GeoBlocks from sorted base data (§3.3, Figure 5).
+//!
+//! "The second phase, build, utilizes the clean and sorted base data to
+//! generate a GeoBlock in a single pass and thus in linear time."
+//!
+//! [`build`] is the incremental path: the base data is already sorted, so
+//! each call filters + aggregates in one O(n) sweep — this is what makes
+//! "building additional Blocks with different filter sets reasonably
+//! cheap" (Figure 11a) and what the §4.4 payoff analysis measures against
+//! the isolated path (filter before sort, `gb_data::extract_filtered`).
+
+use crate::block::GeoBlock;
+use gb_cell::MAX_LEVEL;
+use gb_data::{BaseTable, Filter, Rows};
+use std::time::Duration;
+
+/// Statistics of one build pass.
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Wall time of the aggregation sweep.
+    pub build_time: Duration,
+    /// Rows scanned (all base rows).
+    pub rows_scanned: usize,
+    /// Rows that passed the filter and were aggregated.
+    pub rows_kept: usize,
+}
+
+/// Build a GeoBlock at `level` over the rows of `base` matching `filter`.
+///
+/// Single linear pass. Empty cells are omitted (§3.4); tuple offsets are
+/// positions within the *filtered* row sequence, which keeps the COUNT
+/// range-sum arithmetic of Listing 2 exact per block.
+pub fn build(base: &BaseTable, level: u8, filter: &Filter) -> (GeoBlock, BuildStats) {
+    assert!(level <= MAX_LEVEL);
+    let timer = gb_common::Timer::start();
+
+    let schema = base.schema().clone();
+    let c = schema.len();
+    let shift = 2 * (MAX_LEVEL - level) as u64;
+
+    let mut block = GeoBlock {
+        grid: *base.grid(),
+        level,
+        schema,
+        keys: Vec::new(),
+        offsets: Vec::new(),
+        counts: Vec::new(),
+        key_mins: Vec::new(),
+        key_maxs: Vec::new(),
+        mins: Vec::new(),
+        maxs: Vec::new(),
+        sums: Vec::new(),
+        n_rows: 0,
+        min_cell: 0,
+        max_cell: 0,
+        global_mins: vec![f64::INFINITY; c],
+        global_maxs: vec![f64::NEG_INFINITY; c],
+        global_sums: vec![0.0; c],
+        dirty_offsets: false,
+    };
+
+    let keys = base.keys();
+    let trivial = filter.is_trivial();
+    let mut offset = 0u64; // position within the filtered sequence
+    let mut cur_cell = u64::MAX;
+    let mut cur_count = 0u32;
+
+    // Indexed loop: `row` drives four parallel arrays plus the base table.
+    #[allow(clippy::needless_range_loop)]
+    for row in 0..keys.len() {
+        if !trivial && !filter.matches(base, row) {
+            continue;
+        }
+        let leaf = keys[row];
+        // Block-level cell id of this leaf, by pure bit arithmetic: clear
+        // the low bits and set the sentinel.
+        let cell = (leaf & !((1u64 << (shift + 1)) - 1)) | (1u64 << shift);
+
+        if cell != cur_cell {
+            if cur_count > 0 {
+                block.counts.push(cur_count);
+            }
+            cur_cell = cell;
+            cur_count = 0;
+            block.keys.push(cell);
+            block.offsets.push(offset);
+            block.key_mins.push(leaf);
+            block.key_maxs.push(leaf);
+            block.mins.extend(std::iter::repeat_n(f64::INFINITY, c));
+            block.maxs.extend(std::iter::repeat_n(f64::NEG_INFINITY, c));
+            block.sums.extend(std::iter::repeat_n(0.0, c));
+        }
+        cur_count += 1;
+        offset += 1;
+        let last = block.keys.len() - 1;
+        block.key_maxs[last] = leaf; // keys ascend, so the last seen is max
+        let base_idx = last * c;
+        for col in 0..c {
+            let v = base.value_f64(row, col);
+            let m = &mut block.mins[base_idx + col];
+            if v < *m {
+                *m = v;
+            }
+            let m = &mut block.maxs[base_idx + col];
+            if v > *m {
+                *m = v;
+            }
+            block.sums[base_idx + col] += v;
+            if v < block.global_mins[col] {
+                block.global_mins[col] = v;
+            }
+            if v > block.global_maxs[col] {
+                block.global_maxs[col] = v;
+            }
+            block.global_sums[col] += v;
+        }
+    }
+    if cur_count > 0 {
+        block.counts.push(cur_count);
+    }
+
+    block.n_rows = offset;
+    block.min_cell = block.keys.first().copied().unwrap_or(0);
+    block.max_cell = block.keys.last().copied().unwrap_or(0);
+
+    let stats = BuildStats {
+        build_time: timer.elapsed(),
+        rows_scanned: keys.len(),
+        rows_kept: offset as usize,
+    };
+    (block, stats)
+}
+
+/// Build a GeoBlock and return the *filtered base rows* alongside, for
+/// baselines that need the same filtered view (parity in experiments).
+pub fn build_with_rows(base: &BaseTable, level: u8, filter: &Filter) -> (GeoBlock, Vec<u32>) {
+    let rows = filter.matching_rows(base);
+    let (block, _) = build(base, level, filter);
+    (block, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_cell::{CellId, Grid};
+    use gb_data::{extract, CleaningRules, CmpOp, ColumnDef, RawTable, Schema};
+    use gb_geom::{Point, Rect};
+
+    fn base_data(n: usize) -> BaseTable {
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v"), ColumnDef::i64("k")]));
+        // Deterministic scatter over a 100×100 domain.
+        let mut state = 7u64;
+        for i in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((state >> 16) % 10_000) as f64 / 100.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = ((state >> 16) % 10_000) as f64 / 100.0;
+            raw.push_row(Point::new(x, y), &[i as f64, (i % 10) as f64]);
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        extract(&raw, grid, &CleaningRules::none(), None).base
+    }
+
+    #[test]
+    fn build_satisfies_invariants() {
+        let base = base_data(5000);
+        let (block, stats) = build(&base, 8, &Filter::all());
+        block.check_invariants();
+        assert_eq!(block.num_rows(), 5000);
+        assert_eq!(stats.rows_kept, 5000);
+        assert!(block.num_cells() > 100, "cells: {}", block.num_cells());
+        assert!(block.num_cells() <= 4usize.pow(8));
+    }
+
+    #[test]
+    fn every_row_lands_in_its_cell() {
+        let base = base_data(1000);
+        let (block, _) = build(&base, 6, &Filter::all());
+        for row in 0..1000 {
+            let leaf = CellId::from_raw(base.keys()[row]);
+            let cell = leaf.parent_at(6);
+            let idx = block.keys.binary_search(&cell.raw()).expect("cell present");
+            assert!(block.counts[idx] > 0);
+        }
+    }
+
+    #[test]
+    fn filtered_build_aggregates_subset() {
+        let base = base_data(2000);
+        let f = Filter::on(&base, "k", CmpOp::Eq, 3.0);
+        let (block, stats) = build(&base, 8, &f);
+        block.check_invariants();
+        assert_eq!(block.num_rows(), 200);
+        assert_eq!(stats.rows_kept, 200);
+        // Global sums reflect only matching rows: all k values are 3.
+        let kidx = 1;
+        assert_eq!(block.global_mins[kidx], 3.0);
+        assert_eq!(block.global_maxs[kidx], 3.0);
+        assert_eq!(block.global_sums[kidx], 600.0);
+    }
+
+    #[test]
+    fn empty_filter_result_builds_empty_block() {
+        let base = base_data(100);
+        let f = Filter::on(&base, "v", CmpOp::Lt, -1.0);
+        let (block, _) = build(&base, 8, &f);
+        assert_eq!(block.num_rows(), 0);
+        assert_eq!(block.num_cells(), 0);
+        assert!(!block.may_overlap(CellId::ROOT));
+    }
+
+    #[test]
+    fn coarsen_matches_direct_build() {
+        let base = base_data(3000);
+        let (fine, _) = build(&base, 10, &Filter::all());
+        let (coarse_direct, _) = build(&base, 6, &Filter::all());
+        let coarse = fine.coarsen(6);
+        coarse.check_invariants();
+        assert_eq!(coarse.keys, coarse_direct.keys);
+        assert_eq!(coarse.counts, coarse_direct.counts);
+        assert_eq!(coarse.offsets, coarse_direct.offsets);
+        assert_eq!(coarse.key_mins, coarse_direct.key_mins);
+        assert_eq!(coarse.key_maxs, coarse_direct.key_maxs);
+        for (a, b) in coarse.sums.iter().zip(&coarse_direct.sums) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(coarse.mins, coarse_direct.mins);
+        assert_eq!(coarse.maxs, coarse_direct.maxs);
+    }
+
+    #[test]
+    fn coarsen_to_same_level_is_identity() {
+        let base = base_data(500);
+        let (block, _) = build(&base, 7, &Filter::all());
+        let same = block.coarsen(7);
+        assert_eq!(same.keys, block.keys);
+        assert_eq!(same.counts, block.counts);
+    }
+
+    #[test]
+    fn memory_scales_with_cells_not_rows() {
+        let base_small = base_data(2000);
+        let base_large = base_data(20_000);
+        let (a, _) = build(&base_small, 5, &Filter::all());
+        let (b, _) = build(&base_large, 5, &Filter::all());
+        // Level 5 has at most 1024 cells; more rows ≈ same cells.
+        assert!(
+            b.memory_bytes() < a.memory_bytes() * 3,
+            "a={} b={}",
+            a.memory_bytes(),
+            b.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn global_header_matches_scan() {
+        let base = base_data(1500);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let vidx = 0;
+        let expect_sum: f64 = (0..1500).map(|i| i as f64).sum();
+        assert!((block.global_sums[vidx] - expect_sum).abs() < 1e-6);
+        assert_eq!(block.global_mins[vidx], 0.0);
+        assert_eq!(block.global_maxs[vidx], 1499.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! **GeoBlocks** — a pre-aggregating data structure for error-bounded
+//! spatial aggregation over arbitrary polygons, with a trie-shaped query
+//! cache (EDBT 2021 reproduction; see the repository's `DESIGN.md`).
+//!
+//! A [`GeoBlock`] is a materialized view over geospatial point data: the
+//! domain is decomposed into a hierarchical grid (`gb-cell`), and each
+//! non-empty grid cell at the user-chosen *block level* stores pre-computed
+//! aggregates (count, per-column min/max/sum, tuple offsets). Queries map a
+//! polygon to an error-bounded cell covering and combine the covered cell
+//! aggregates — the only error is the covering's spatial error, bounded by
+//! the block-level cell diagonal (§3.2).
+//!
+//! ```
+//! use gb_data::{datasets, extract, AggSpec, Filter, Rows};
+//! use geoblocks::{build, GeoBlockQC};
+//!
+//! // Synthetic NYC-taxi-like data → extract (clean + sort) → build.
+//! let ds = datasets::nyc_taxi(10_000, 42);
+//! let base = extract(&ds.raw, ds.grid, &datasets::nyc_cleaning_rules(), None).base;
+//! let (block, _) = build(&base, 14, &Filter::all());
+//!
+//! // Query any polygon with any aggregate set.
+//! let polys = gb_data::polygons::neighborhoods(5, 1);
+//! let spec = AggSpec::paper_default(base.schema());
+//! let (result, _) = block.select(&polys[0], &spec);
+//! assert!(result.count <= 10_000);
+//!
+//! // Query-cache accelerated variant (BlockQC).
+//! let mut qc = GeoBlockQC::new(block, 0.05);
+//! let (cached_result, _) = qc.select(&polys[0], &spec);
+//! assert_eq!(cached_result.count, result.count);
+//! ```
+//!
+//! Module map (one per paper concern):
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`block`] — storage layout, header, coarsening | §3.4 |
+//! | [`build`] — single-pass builds from sorted base data | §3.3 |
+//! | [`query`] — SELECT (Listing 1) and COUNT (Listing 2) | §3.5 |
+//! | [`trie`] — the AggregateTrie cache | §3.6, Fig. 7 |
+//! | [`qc`] — BlockQC: adapted query + scoring/rebuild | §3.6, Fig. 8 |
+//! | [`update`] — batch updates | §5 |
+//! | [`indexed`] — B-tree-indexed aggregate storage (rebuild-free updates) | §5 |
+//! | [`aggregate`] — accumulator shared with the baselines | §2, §3.4 |
+
+pub mod aggregate;
+pub mod block;
+pub mod build;
+pub mod indexed;
+pub mod qc;
+pub mod query;
+pub mod trie;
+pub mod update;
+
+pub use aggregate::AggResult;
+pub use block::GeoBlock;
+pub use build::{build, build_with_rows, BuildStats};
+pub use indexed::IndexedBlock;
+pub use qc::{CacheMetrics, GeoBlockQC, RebuildPolicy};
+pub use query::QueryStats;
+pub use trie::AggregateTrie;
+pub use update::{UpdateBatch, UpdateReport};

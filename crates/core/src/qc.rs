@@ -1,0 +1,472 @@
+//! BlockQC: GeoBlocks with query-cache acceleration (§3.6, Figure 8).
+//!
+//! Wraps a [`GeoBlock`] with (i) hit statistics over previously seen query
+//! cells, (ii) the [`AggregateTrie`] cache sized by the *aggregate
+//! threshold* (relative to the cell-aggregate storage), and (iii) the
+//! adapted SELECT algorithm: probe the trie per query cell; use the cached
+//! aggregate when present; otherwise combine cached direct children with
+//! the base algorithm for the missing ones; otherwise fall back entirely.
+//!
+//! COUNT queries bypass the cache ("as the runtime of COUNT queries is
+//! mostly independent of the cell level […] we do not expect noticeable
+//! speedups for them").
+
+use crate::aggregate::AggResult;
+use crate::block::GeoBlock;
+use crate::query::QueryStats;
+use crate::trie::AggregateTrie;
+use gb_cell::CellId;
+use gb_common::FxHashMap;
+use gb_data::AggSpec;
+use gb_geom::Polygon;
+
+/// When the cache is (re)built from the hit statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildPolicy {
+    /// Only on explicit [`GeoBlockQC::rebuild_cache`] calls.
+    Manual,
+    /// Automatically after every `n` queries.
+    EveryN(usize),
+}
+
+/// Cache-related counters for one query (or an accumulated run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Query cells probed against the trie.
+    pub probes: u64,
+    /// Query cells answered entirely from a cached aggregate.
+    pub direct_hits: u64,
+    /// Query cells partially answered via cached direct children.
+    pub child_hits: u64,
+}
+
+impl CacheMetrics {
+    /// Fraction of probes answered directly from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.direct_hits as f64 / self.probes as f64
+        }
+    }
+}
+
+/// A GeoBlock with the AggregateTrie query cache.
+#[derive(Debug, Clone)]
+pub struct GeoBlockQC {
+    block: GeoBlock,
+    trie: AggregateTrie,
+    /// Cache budget as a fraction of the cell-aggregate bytes (Figure 18's
+    /// "aggregate threshold").
+    threshold: f64,
+    policy: RebuildPolicy,
+    hits: FxHashMap<u64, u64>,
+    queries_since_rebuild: usize,
+    metrics: CacheMetrics,
+}
+
+impl GeoBlockQC {
+    /// Wrap `block` with a cache budget of `threshold` (e.g. `0.05` = 5 %
+    /// of the cell-aggregate storage, the paper's skew-experiment setting).
+    pub fn new(block: GeoBlock, threshold: f64) -> Self {
+        assert!(threshold >= 0.0);
+        let root_cell = if block.num_cells() == 0 {
+            CellId::ROOT
+        } else {
+            CellId::from_raw(block.min_cell).common_ancestor(CellId::from_raw(block.max_cell))
+        };
+        let n_cols = block.schema().len();
+        GeoBlockQC {
+            block,
+            trie: AggregateTrie::new(root_cell, n_cols),
+            threshold,
+            policy: RebuildPolicy::Manual,
+            hits: FxHashMap::default(),
+            queries_since_rebuild: 0,
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// Set the automatic rebuild policy.
+    pub fn with_policy(mut self, policy: RebuildPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The wrapped block.
+    pub fn block(&self) -> &GeoBlock {
+        &self.block
+    }
+
+    /// The current cache.
+    pub fn trie(&self) -> &AggregateTrie {
+        &self.trie
+    }
+
+    pub(crate) fn block_mut(&mut self) -> &mut GeoBlock {
+        &mut self.block
+    }
+
+    pub(crate) fn trie_mut(&mut self) -> &mut AggregateTrie {
+        &mut self.trie
+    }
+
+    pub(crate) fn block_grid_leaf(&self, p: gb_geom::Point) -> CellId {
+        self.block.grid().leaf_for_point(p)
+    }
+
+    /// Cache budget in bytes (threshold × cell-aggregate bytes).
+    pub fn budget_bytes(&self) -> usize {
+        (self.threshold * (self.block.num_cells() * self.block.record_bytes()) as f64) as usize
+    }
+
+    /// Accumulated cache metrics since the last [`GeoBlockQC::reset_metrics`].
+    pub fn metrics(&self) -> CacheMetrics {
+        self.metrics
+    }
+
+    /// Zero the cache metrics (e.g. between workload phases).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = CacheMetrics::default();
+    }
+
+    /// COUNT passes straight through to the block (no cache, §3.6).
+    pub fn count(&self, polygon: &Polygon) -> (u64, QueryStats) {
+        self.block.count(polygon)
+    }
+
+    /// SELECT with the Figure-8 adapted algorithm.
+    pub fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+        let covering = self.block.cover(polygon);
+        let mut result = AggResult::new(spec);
+        let mut stats = QueryStats::default();
+        let mut cursor = 0usize;
+
+        for qcell in covering.iter() {
+            if !self.block.may_overlap(qcell) {
+                continue;
+            }
+            stats.query_cells += 1;
+            // Track the hit for future cache decisions (§3.6 "for each
+            // query cell that intersects with the GeoBlock").
+            *self.hits.entry(qcell.raw()).or_insert(0) += 1;
+            self.metrics.probes += 1;
+
+            // Probe the cache.
+            match self.trie.node_for(qcell) {
+                Some(node) => {
+                    if let Some(agg) = self.trie.agg_of(node) {
+                        // Fully cached: answer from the trie.
+                        result.combine_record(
+                            spec,
+                            agg.count,
+                            |c| agg.min(c),
+                            |c| agg.max(c),
+                            |c| agg.sum(c),
+                        );
+                        self.metrics.direct_hits += 1;
+                        continue;
+                    }
+                    if qcell.level() < gb_cell::MAX_LEVEL {
+                        if let Some(children) = self.trie.children_of(node) {
+                            // Partially cached: combine cached direct
+                            // children, fall back per missing child.
+                            let mut used_child = false;
+                            for (k, &child_node) in children.iter().enumerate() {
+                                let child_cell = qcell.child(k as u8);
+                                if let Some(agg) = self.trie.agg_of(child_node) {
+                                    result.combine_record(
+                                        spec,
+                                        agg.count,
+                                        |c| agg.min(c),
+                                        |c| agg.max(c),
+                                        |c| agg.sum(c),
+                                    );
+                                    used_child = true;
+                                } else {
+                                    cursor = self.block.scan_cell_range(
+                                        child_cell,
+                                        spec,
+                                        &mut result,
+                                        &mut stats,
+                                        0,
+                                    );
+                                }
+                            }
+                            if used_child {
+                                self.metrics.child_hits += 1;
+                            }
+                            continue;
+                        }
+                    }
+                    // Node exists but nothing usable: old algorithm.
+                    cursor =
+                        self.block
+                            .scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+                }
+                None => {
+                    cursor =
+                        self.block
+                            .scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+                }
+            }
+        }
+
+        self.queries_since_rebuild += 1;
+        if let RebuildPolicy::EveryN(n) = self.policy {
+            if self.queries_since_rebuild >= n {
+                self.rebuild_cache();
+            }
+        }
+        (result.finalize(spec), stats)
+    }
+
+    /// Score of a query cell: own hits plus parent hits (§3.6 "the score
+    /// of a cell is the sum of the cell's hits and the hits of its
+    /// parent").
+    fn score(&self, cell: CellId) -> u64 {
+        let own = self.hits.get(&cell.raw()).copied().unwrap_or(0);
+        let parent = if cell.level() > 0 {
+            self.hits.get(&cell.parent().raw()).copied().unwrap_or(0)
+        } else {
+            0
+        };
+        own + parent
+    }
+
+    /// Rebuild the AggregateTrie from the hit statistics: sort candidate
+    /// cells by (score desc, level asc, key asc) and insert until the
+    /// reserved area is filled (§3.6 "Determining Relevant Aggregates").
+    pub fn rebuild_cache(&mut self) {
+        self.queries_since_rebuild = 0;
+        let budget = self.budget_bytes();
+        let n_cols = self.block.schema().len();
+        let mut trie = AggregateTrie::new(self.trie.root_cell(), n_cols);
+
+        let mut candidates: Vec<(u64, u8, u64)> = self
+            .hits
+            .keys()
+            .map(|&raw| {
+                let cell = CellId::from_raw(raw);
+                (self.score(cell), cell.level(), raw)
+            })
+            .collect();
+        // Score desc, then level asc (coarser first), then key asc.
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+        let mut mins = vec![0.0f64; n_cols];
+        let mut maxs = vec![0.0f64; n_cols];
+        let mut sums = vec![0.0f64; n_cols];
+        for (_, _, raw) in candidates {
+            let cell = CellId::from_raw(raw);
+            let Some(cost) = trie.insertion_cost(cell) else {
+                continue;
+            };
+            if trie.size_bytes() + cost > budget {
+                // Reserved area full (the paper inserts by descending
+                // relevance until the space is exhausted).
+                break;
+            }
+            let count = self.aggregate_cell_range(cell, &mut mins, &mut maxs, &mut sums);
+            // Empty cells are cached too: a count-0 record answers "no data
+            // here" without touching the aggregates, and Figure 18's cache
+            // hit rate reaching 100 % requires every queried cell to become
+            // cacheable.
+            trie.insert(cell, count, &mins, &maxs, &sums);
+        }
+        self.trie = trie;
+    }
+
+    /// Aggregate all cell aggregates inside `cell` into the scratch
+    /// buffers; returns the tuple count.
+    fn aggregate_cell_range(
+        &self,
+        cell: CellId,
+        mins: &mut [f64],
+        maxs: &mut [f64],
+        sums: &mut [f64],
+    ) -> u64 {
+        let c = mins.len();
+        mins.fill(f64::INFINITY);
+        maxs.fill(f64::NEG_INFINITY);
+        sums.fill(0.0);
+        let mut count = 0u64;
+        let lo = cell.range_min().raw();
+        let hi = cell.range_max().raw();
+        let mut i = self.block.lower_bound_from(lo, 0);
+        while i < self.block.keys.len() && self.block.keys[i] <= hi {
+            count += u64::from(self.block.counts[i]);
+            let base = i * c;
+            for col in 0..c {
+                mins[col] = mins[col].min(self.block.mins[base + col]);
+                maxs[col] = maxs[col].max(self.block.maxs[base + col]);
+                sums[col] += self.block.sums[base + col];
+            }
+            i += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use gb_cell::Grid;
+    use gb_data::{extract, AggSpec, CleaningRules, ColumnDef, Filter, RawTable, Schema};
+    use gb_geom::{Point, Rect};
+
+    fn base_data(n: usize) -> gb_data::BaseTable {
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v")]));
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 10_000) as f64 / 100.0
+        };
+        for i in 0..n {
+            raw.push_row(Point::new(next(), next()), &[i as f64]);
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        extract(&raw, grid, &CleaningRules::none(), None).base
+    }
+
+    fn diamond(cx: f64, cy: f64, r: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(cx, cy - r),
+            Point::new(cx + r, cy),
+            Point::new(cx, cy + r),
+            Point::new(cx - r, cy),
+        ])
+    }
+
+    fn spec() -> AggSpec {
+        AggSpec::k_aggregates(&Schema::new(vec![ColumnDef::f64("v")]), 4)
+    }
+
+    #[test]
+    fn qc_matches_plain_block_before_and_after_caching() {
+        let base = base_data(4000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let s = spec();
+        let polys: Vec<Polygon> = (0..6)
+            .map(|i| diamond(20.0 + 10.0 * i as f64, 30.0 + 7.0 * i as f64, 8.0))
+            .collect();
+
+        let mut qc = GeoBlockQC::new(block.clone(), 0.2);
+        // Cold cache: identical results.
+        for p in &polys {
+            let (a, _) = qc.select(p, &s);
+            let (b, _) = block.select(p, &s);
+            assert!(a.approx_eq(&b, 1e-9), "cold: {a:?} vs {b:?}");
+        }
+        qc.rebuild_cache();
+        assert!(qc.trie().num_cached() > 0, "cache should hold aggregates");
+        // Warm cache: still identical results.
+        for p in &polys {
+            let (a, _) = qc.select(p, &s);
+            let (b, _) = block.select(p, &s);
+            assert!(a.approx_eq(&b, 1e-9), "warm: {a:?} vs {b:?}");
+        }
+        assert!(qc.metrics().direct_hits > 0, "expected cache hits");
+    }
+
+    #[test]
+    fn cache_respects_budget() {
+        let base = base_data(3000);
+        let (block, _) = build(&base, 9, &Filter::all());
+        let mut qc = GeoBlockQC::new(block, 0.05);
+        for i in 0..20 {
+            let p = diamond(30.0 + i as f64, 40.0, 10.0);
+            qc.select(&p, &spec());
+        }
+        qc.rebuild_cache();
+        assert!(
+            qc.trie().size_bytes() <= qc.budget_bytes(),
+            "cache {} over budget {}",
+            qc.trie().size_bytes(),
+            qc.budget_bytes()
+        );
+    }
+
+    #[test]
+    fn zero_threshold_caches_nothing() {
+        let base = base_data(1000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let mut qc = GeoBlockQC::new(block, 0.0);
+        for _ in 0..3 {
+            qc.select(&diamond(50.0, 50.0, 20.0), &spec());
+        }
+        qc.rebuild_cache();
+        assert_eq!(qc.trie().num_cached(), 0);
+        assert_eq!(qc.metrics().direct_hits, 0);
+    }
+
+    #[test]
+    fn repeated_region_gets_cached_and_hit() {
+        let base = base_data(3000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let mut qc = GeoBlockQC::new(block, 0.5);
+        let hot = diamond(50.0, 50.0, 12.0);
+        for _ in 0..5 {
+            qc.select(&hot, &spec());
+        }
+        qc.rebuild_cache();
+        qc.reset_metrics();
+        qc.select(&hot, &spec());
+        let m = qc.metrics();
+        assert!(
+            m.direct_hits + m.child_hits > 0,
+            "hot region should hit the cache: {m:?}"
+        );
+        assert!(m.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn auto_rebuild_policy_fires() {
+        let base = base_data(2000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let mut qc = GeoBlockQC::new(block, 0.3).with_policy(RebuildPolicy::EveryN(4));
+        let hot = diamond(40.0, 40.0, 10.0);
+        for _ in 0..8 {
+            qc.select(&hot, &spec());
+        }
+        // After ≥ 4 queries the policy rebuilt at least once.
+        assert!(qc.trie().num_cached() > 0);
+    }
+
+    #[test]
+    fn count_ignores_cache() {
+        let base = base_data(2000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let mut qc = GeoBlockQC::new(block.clone(), 0.3);
+        let hot = diamond(40.0, 40.0, 15.0);
+        for _ in 0..5 {
+            qc.select(&hot, &spec());
+        }
+        qc.rebuild_cache();
+        let (a, _) = qc.count(&hot);
+        let (b, _) = block.count(&hot);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scoring_prefers_hits_then_coarser_cells() {
+        let base = base_data(2000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let mut qc = GeoBlockQC::new(block, 1.0);
+        // Query one region often, another once.
+        let hot = diamond(30.0, 30.0, 10.0);
+        let cold = diamond(70.0, 70.0, 10.0);
+        for _ in 0..6 {
+            qc.select(&hot, &spec());
+        }
+        qc.select(&cold, &spec());
+        qc.rebuild_cache();
+        qc.reset_metrics();
+        qc.select(&hot, &spec());
+        let hot_rate = qc.metrics().hit_rate();
+        assert!(hot_rate > 0.5, "hot region rate {hot_rate}");
+    }
+}

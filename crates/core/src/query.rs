@@ -1,0 +1,388 @@
+//! SELECT and COUNT query evaluation (§3.5, Listings 1 & 2, Figure 6).
+//!
+//! Both queries start identically: the polygon is approximated by an
+//! error-bounded cell covering (boundary cells at the block level, interior
+//! cells possibly coarser), the covering is pruned against the global
+//! header, and each covering cell turns into a contiguous range of cell
+//! aggregates (keys are curve-sorted, so a cell's descendants form one run).
+//!
+//! * [`GeoBlock::select`] — the production variant: one forward range scan
+//!   per covering cell, resuming from the previous cell's end position (the
+//!   "lastAgg" successor trick of Listing 1 generalised to a cursor).
+//! * [`GeoBlock::select_listing1`] — the paper's pseudocode, literally:
+//!   every covering cell is first expanded to block-level child cells, each
+//!   child is looked up via upper-bound binary search or the successor
+//!   check. Kept as an ablation target (`select_ablation` bench).
+//! * [`GeoBlock::count`] — Listing 2: per covering cell, locate the first and last
+//!   contained aggregate and use `last.offset + last.count − first.offset`
+//!   (a range-sum over the offset prefix structure). Falls back to summing
+//!   counts after in-place updates invalidated offsets.
+
+use crate::aggregate::AggResult;
+use crate::block::GeoBlock;
+use gb_cell::{cover_polygon, CellUnion, CovererOptions};
+use gb_data::AggSpec;
+use gb_geom::Polygon;
+
+/// Counters describing one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Cells in the covering (after header pruning).
+    pub query_cells: usize,
+    /// Cell aggregates folded into the result.
+    pub cells_combined: usize,
+    /// Binary searches performed.
+    pub searches: usize,
+}
+
+impl GeoBlock {
+    /// Compute the error-bounded covering for a query polygon (Figure 6 b/c).
+    pub fn cover(&self, polygon: &Polygon) -> CellUnion {
+        cover_polygon(&self.grid, polygon, CovererOptions::at_level(self.level))
+    }
+
+    /// SELECT: extract `spec`'s aggregates over all points in `polygon`.
+    pub fn select(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+        let covering = self.cover(polygon);
+        let (acc, stats) = self.select_covering(&covering, spec);
+        (acc.finalize(spec), stats)
+    }
+
+    /// SELECT over a precomputed covering, without finalization (the
+    /// query-cache layer composes partial results before finalizing).
+    pub fn select_covering(&self, covering: &CellUnion, spec: &AggSpec) -> (AggResult, QueryStats) {
+        let mut result = AggResult::new(spec);
+        let mut stats = QueryStats::default();
+        let mut cursor = 0usize; // aggregates are sorted; coverings too
+
+        for qcell in covering.iter() {
+            // Header pre-check (Listing 1 lines 5–6): skip cells outside
+            // the block's key range.
+            if !self.may_overlap(qcell) {
+                continue;
+            }
+            stats.query_cells += 1;
+            cursor = self.scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+        }
+        (result, stats)
+    }
+
+    /// Fold all cell aggregates inside `qcell` into `result`, scanning
+    /// forward from `cursor`. Returns the new cursor.
+    #[inline]
+    pub(crate) fn scan_cell_range(
+        &self,
+        qcell: gb_cell::CellId,
+        spec: &AggSpec,
+        result: &mut AggResult,
+        stats: &mut QueryStats,
+        cursor: usize,
+    ) -> usize {
+        let lo_key = qcell.range_min().raw();
+        let hi_key = qcell.range_max().raw();
+        let mut i = self.lower_bound_from(lo_key, cursor);
+        stats.searches += 1;
+        while i < self.keys.len() && self.keys[i] <= hi_key {
+            self.combine_cell(i, spec, result);
+            stats.cells_combined += 1;
+            i += 1;
+        }
+        i
+    }
+
+    /// SELECT following the paper's Listing 1 literally: map each covering
+    /// cell to its block-level children and look each child up, exploiting
+    /// the stored order via a "last aggregate" successor check.
+    ///
+    /// Functionally identical to [`GeoBlock::select`]; kept for the
+    /// ablation benches. Beware: a coarse interior covering cell expands to
+    /// 4^Δ children, so this variant degrades when coverings are coarse.
+    pub fn select_listing1(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+        let covering = self.cover(polygon);
+        let mut result = AggResult::new(spec);
+        let mut stats = QueryStats::default();
+        let mut last_agg: Option<usize> = None;
+
+        for qcell in covering.iter() {
+            if !self.may_overlap(qcell) {
+                continue;
+            }
+            stats.query_cells += 1;
+            // Line 12: split the query cell into block-level children.
+            for child in qcell.children_at(self.level.max(qcell.level())) {
+                let key = child.raw();
+                match last_agg {
+                    // Lines 25–28: check the successor of the last hit.
+                    Some(last) if last + 1 < self.keys.len() && self.keys[last + 1] == key => {
+                        self.combine_cell(last + 1, spec, &mut result);
+                        stats.cells_combined += 1;
+                        last_agg = Some(last + 1);
+                    }
+                    Some(last) if last + 1 < self.keys.len() && self.keys[last + 1] > key => {
+                        // Successor is further along the curve: this child
+                        // is empty; keep the cursor.
+                    }
+                    _ => {
+                        // Lines 19–24: upper-bound binary search, then the
+                        // predecessor is the candidate aggregate.
+                        stats.searches += 1;
+                        let ub = self.upper_bound_from(key, 0);
+                        if ub > 0 && self.keys[ub - 1] == key {
+                            self.combine_cell(ub - 1, spec, &mut result);
+                            stats.cells_combined += 1;
+                            last_agg = Some(ub - 1);
+                        }
+                    }
+                }
+            }
+        }
+        (result.finalize(spec), stats)
+    }
+
+    /// COUNT: number of points inside `polygon` (Listing 2).
+    pub fn count(&self, polygon: &Polygon) -> (u64, QueryStats) {
+        let covering = self.cover(polygon);
+        self.count_covering(&covering)
+    }
+
+    /// COUNT over a precomputed covering.
+    pub fn count_covering(&self, covering: &CellUnion) -> (u64, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut total = 0u64;
+
+        for qcell in covering.iter() {
+            if !self.may_overlap(qcell) {
+                continue;
+            }
+            stats.query_cells += 1;
+            // First/last block-level child of the covering cell (lines 5–6
+            // of Listing 2) — as raw key bounds these are just the cell's
+            // leaf range restricted to block-level ids.
+            let lo_key = qcell.range_min().raw();
+            let hi_key = qcell.range_max().raw();
+
+            stats.searches += 2;
+            let first = self.lower_bound_from(lo_key, 0);
+            if first == self.keys.len() || self.keys[first] > hi_key {
+                continue; // no aggregates inside this covering cell
+            }
+            let last = self.upper_bound_from(hi_key, first) - 1;
+
+            if self.dirty_offsets {
+                // Updates broke the offset arithmetic: sum counts instead.
+                for i in first..=last {
+                    total += u64::from(self.counts[i]);
+                    stats.cells_combined += 1;
+                }
+            } else {
+                // Line 11: last.offset + last.count − first.offset.
+                total += self.offsets[last] + u64::from(self.counts[last]) - self.offsets[first];
+                stats.cells_combined += 2;
+            }
+        }
+        (total, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use gb_cell::Grid;
+    use gb_data::{
+        extract, AggFunc, AggRequest, CleaningRules, ColumnDef, Filter, RawTable, Rows, Schema,
+    };
+    use gb_geom::{Point, Rect};
+
+    /// Deterministic scattered base data over [0,100)².
+    fn base_data(n: usize) -> gb_data::BaseTable {
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v"), ColumnDef::f64("w")]));
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 10_000) as f64 / 100.0
+        };
+        for i in 0..n {
+            raw.push_row(Point::new(next(), next()), &[i as f64, (i % 7) as f64]);
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        extract(&raw, grid, &CleaningRules::none(), None).base
+    }
+
+    fn spec() -> AggSpec {
+        AggSpec::new(vec![
+            AggRequest::new(AggFunc::Count, 0),
+            AggRequest::new(AggFunc::Sum, 0),
+            AggRequest::new(AggFunc::Min, 0),
+            AggRequest::new(AggFunc::Max, 1),
+            AggRequest::new(AggFunc::Avg, 1),
+        ])
+    }
+
+    /// Exact aggregation over the covering region (covering-level ground
+    /// truth: what a correct GeoBlock must return bit-for-bit).
+    fn covering_truth(
+        base: &gb_data::BaseTable,
+        block: &GeoBlock,
+        poly: &Polygon,
+        s: &AggSpec,
+    ) -> AggResult {
+        let covering = block.cover(poly);
+        let mut acc = AggResult::new(s);
+        for row in 0..base.num_rows() {
+            let leaf = gb_cell::CellId::from_raw(base.keys()[row]);
+            if covering.contains(leaf) {
+                acc.combine_tuple(s, |c| base.value_f64(row, c));
+            }
+        }
+        acc.finalize(s)
+    }
+
+    fn diamond(cx: f64, cy: f64, r: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(cx, cy - r),
+            Point::new(cx + r, cy),
+            Point::new(cx, cy + r),
+            Point::new(cx - r, cy),
+        ])
+    }
+
+    #[test]
+    fn select_matches_covering_ground_truth() {
+        let base = base_data(4000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let s = spec();
+        for (cx, cy, r) in [(50.0, 50.0, 20.0), (10.0, 10.0, 9.0), (80.0, 30.0, 15.0)] {
+            let poly = diamond(cx, cy, r);
+            let (got, stats) = block.select(&poly, &s);
+            let want = covering_truth(&base, &block, &poly, &s);
+            assert!(
+                got.approx_eq(&want, 1e-9),
+                "poly ({cx},{cy},{r}): {got:?} vs {want:?}"
+            );
+            assert!(stats.query_cells > 0);
+        }
+    }
+
+    #[test]
+    fn listing1_variant_agrees_with_range_scan() {
+        let base = base_data(3000);
+        let (block, _) = build(&base, 7, &Filter::all());
+        let s = spec();
+        for (cx, cy, r) in [(50.0, 50.0, 25.0), (25.0, 70.0, 12.0)] {
+            let poly = diamond(cx, cy, r);
+            let (a, _) = block.select(&poly, &s);
+            let (b, _) = block.select_listing1(&poly, &s);
+            assert!(a.approx_eq(&b, 1e-9), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn count_equals_select_count() {
+        let base = base_data(5000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let s = AggSpec::count_only();
+        for (cx, cy, r) in [(50.0, 50.0, 30.0), (20.0, 20.0, 5.0), (90.0, 90.0, 9.0)] {
+            let poly = diamond(cx, cy, r);
+            let (sel, _) = block.select(&poly, &s);
+            let (cnt, _) = block.count(&poly);
+            assert_eq!(sel.count, cnt, "poly ({cx},{cy},{r})");
+        }
+    }
+
+    #[test]
+    fn count_visits_fewer_aggregates_than_select() {
+        let base = base_data(8000);
+        let (block, _) = build(&base, 9, &Filter::all());
+        let poly = diamond(50.0, 50.0, 35.0);
+        let (_, sel_stats) = block.select(&poly, &AggSpec::count_only());
+        let (_, cnt_stats) = block.count(&poly);
+        assert!(
+            cnt_stats.cells_combined < sel_stats.cells_combined / 2,
+            "count {} vs select {}",
+            cnt_stats.cells_combined,
+            sel_stats.cells_combined
+        );
+    }
+
+    #[test]
+    fn whole_domain_query_equals_global_header() {
+        let base = base_data(2000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let s = spec();
+        let everything = Polygon::rectangle(Rect::from_bounds(-1.0, -1.0, 101.0, 101.0));
+        let (got, _) = block.select(&everything, &s);
+        let global = block.global_aggregate(&s);
+        assert!(got.approx_eq(&global, 1e-9), "{got:?} vs {global:?}");
+        let (cnt, _) = block.count(&everything);
+        assert_eq!(cnt, 2000);
+    }
+
+    #[test]
+    fn disjoint_polygon_yields_empty() {
+        let base = base_data(1000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        // Inside the domain but in a data-free corner? The scatter covers
+        // everything, so use a polygon outside the domain instead.
+        let poly = diamond(500.0, 500.0, 10.0);
+        let (res, stats) = block.select(&poly, &spec());
+        assert_eq!(res.count, 0);
+        assert_eq!(stats.query_cells, 0);
+        assert_eq!(block.count(&poly).0, 0);
+    }
+
+    #[test]
+    fn covering_count_is_superset_of_exact_count() {
+        // The covering only over-approximates (false positives, §4.3).
+        let base = base_data(4000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let poly = diamond(50.0, 50.0, 18.0);
+        let exact = (0..base.num_rows())
+            .filter(|&r| poly.contains_point(base.location(r)))
+            .count() as u64;
+        let (cnt, _) = block.count(&poly);
+        assert!(cnt >= exact, "covering count {cnt} < exact {exact}");
+    }
+
+    #[test]
+    fn finer_blocks_reduce_count_error() {
+        let base = base_data(6000);
+        let poly = diamond(50.0, 50.0, 22.0);
+        let exact = (0..base.num_rows())
+            .filter(|&r| poly.contains_point(base.location(r)))
+            .count() as f64;
+        let mut errs = Vec::new();
+        for level in [5u8, 7, 9, 11] {
+            let (block, _) = build(&base, level, &Filter::all());
+            let (cnt, _) = block.count(&poly);
+            errs.push((cnt as f64 - exact).abs() / exact);
+        }
+        // Monotone-ish decrease; require strict improvement end-to-end.
+        assert!(
+            errs.last().unwrap() < errs.first().unwrap(),
+            "errors {errs:?}"
+        );
+        assert!(errs.last().unwrap() < &0.1, "final error {:?}", errs.last());
+    }
+
+    #[test]
+    fn query_on_filtered_block() {
+        let base = base_data(3000);
+        let f = Filter::on(&base, "w", gb_data::CmpOp::Lt, 3.0);
+        let (block, _) = build(&base, 8, &f);
+        let poly = diamond(50.0, 50.0, 40.0);
+        let covering = block.cover(&poly);
+        // Ground truth over filtered rows within the covering.
+        let mut want = 0u64;
+        for row in 0..base.num_rows() {
+            if base.value_f64(row, 1) < 3.0
+                && covering.contains(gb_cell::CellId::from_raw(base.keys()[row]))
+            {
+                want += 1;
+            }
+        }
+        assert_eq!(block.count(&poly).0, want);
+    }
+}

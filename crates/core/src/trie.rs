@@ -1,0 +1,397 @@
+//! The AggregateTrie: the query-driven aggregate cache (§3.6, Figure 7).
+//!
+//! A trie over cell ids where each trie level encodes exactly one cell
+//! level (fanout 4). Nodes are two 32-bit offsets — a pointer to the first
+//! of four contiguously-allocated children, and a pointer to the node's
+//! cached aggregate record — exactly the paper's compact in-place encoding:
+//! "Nodes consist of just two 32-bit integers. […] Since we store only the
+//! offset to the first child, we need to always allocate space for all
+//! children in a node."
+//!
+//! The root corresponds to the smallest cell enclosing the GeoBlock's data
+//! ("typically just a small fraction of the possible earth-wide input
+//! space"). Aggregate records are `count` plus per-column min/max/sum.
+
+use gb_cell::CellId;
+
+/// Sentinel: no child block. Index 0 is always the root, so 0 is free.
+const NO_CHILD: u32 = 0;
+/// Sentinel: no cached aggregate.
+const NO_AGG: u32 = u32::MAX;
+
+/// One trie node: Figure 7's `(child offset, aggregate offset)` pair.
+#[derive(Debug, Clone, Copy, Default)]
+struct TrieNode {
+    first_child: u32,
+    agg: u32,
+}
+
+/// The trie-shaped aggregate cache.
+#[derive(Debug, Clone)]
+pub struct AggregateTrie {
+    root_cell: CellId,
+    nodes: Vec<TrieNode>,
+    n_cols: usize,
+    /// Cached record counts (one per cached cell).
+    agg_counts: Vec<u64>,
+    /// Cached record payload, stride `3 × n_cols`: mins, then maxs, then
+    /// sums (column-indexed within each third).
+    agg_values: Vec<f64>,
+}
+
+/// A cached aggregate record view.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedAgg<'a> {
+    pub count: u64,
+    mins: &'a [f64],
+    maxs: &'a [f64],
+    sums: &'a [f64],
+}
+
+impl CachedAgg<'_> {
+    #[inline]
+    pub fn min(&self, col: usize) -> f64 {
+        self.mins[col]
+    }
+
+    #[inline]
+    pub fn max(&self, col: usize) -> f64 {
+        self.maxs[col]
+    }
+
+    #[inline]
+    pub fn sum(&self, col: usize) -> f64 {
+        self.sums[col]
+    }
+}
+
+impl AggregateTrie {
+    /// An empty trie rooted at `root_cell` for `n_cols` columns.
+    pub fn new(root_cell: CellId, n_cols: usize) -> Self {
+        AggregateTrie {
+            root_cell,
+            nodes: vec![TrieNode {
+                first_child: NO_CHILD,
+                agg: NO_AGG,
+            }],
+            n_cols,
+            agg_counts: Vec::new(),
+            agg_values: Vec::new(),
+        }
+    }
+
+    /// The cell the root node represents.
+    #[inline]
+    pub fn root_cell(&self) -> CellId {
+        self.root_cell
+    }
+
+    /// Number of cached aggregates.
+    #[inline]
+    pub fn num_cached(&self) -> usize {
+        self.agg_counts.len()
+    }
+
+    /// Number of allocated nodes (including the root and empty slots in
+    /// child blocks — the paper's encoding always allocates all four).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Bytes of one aggregate record: count + 3 × n_cols values.
+    #[inline]
+    pub fn record_bytes(&self) -> usize {
+        8 + 24 * self.n_cols
+    }
+
+    /// Total cache footprint: 8 bytes per node + record storage — the
+    /// quantity bounded by the Figure-18 aggregate threshold.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * 8 + self.agg_counts.len() * self.record_bytes()
+    }
+
+    /// Index of the trie node for `cell`, if the path exists.
+    pub fn node_for(&self, cell: CellId) -> Option<u32> {
+        if !self.root_cell.contains(cell) {
+            return None;
+        }
+        let mut cur = 0u32;
+        for level in (self.root_cell.level() + 1)..=cell.level() {
+            let first = self.nodes[cur as usize].first_child;
+            if first == NO_CHILD {
+                return None;
+            }
+            cur = first + u32::from(cell.child_position(level));
+        }
+        Some(cur)
+    }
+
+    /// The cached aggregate of a node, if present.
+    pub fn agg_of(&self, node: u32) -> Option<CachedAgg<'_>> {
+        let idx = self.nodes[node as usize].agg;
+        (idx != NO_AGG).then(|| self.agg_view(idx))
+    }
+
+    fn agg_view(&self, idx: u32) -> CachedAgg<'_> {
+        let c = self.n_cols;
+        let base = idx as usize * 3 * c;
+        CachedAgg {
+            count: self.agg_counts[idx as usize],
+            mins: &self.agg_values[base..base + c],
+            maxs: &self.agg_values[base + c..base + 2 * c],
+            sums: &self.agg_values[base + 2 * c..base + 3 * c],
+        }
+    }
+
+    /// The four children of a node, if a child block was allocated.
+    pub fn children_of(&self, node: u32) -> Option<[u32; 4]> {
+        let first = self.nodes[node as usize].first_child;
+        (first != NO_CHILD).then(|| [first, first + 1, first + 2, first + 3])
+    }
+
+    /// How many bytes inserting `cell` would add (missing child blocks plus
+    /// the aggregate record). Returns `None` for cells outside the root.
+    pub fn insertion_cost(&self, cell: CellId) -> Option<usize> {
+        if !self.root_cell.contains(cell) {
+            return None;
+        }
+        let mut missing_blocks = 0usize;
+        let mut cur = 0u32;
+        let mut detached = false;
+        for level in (self.root_cell.level() + 1)..=cell.level() {
+            if detached {
+                missing_blocks += 1;
+                continue;
+            }
+            let first = self.nodes[cur as usize].first_child;
+            if first == NO_CHILD {
+                missing_blocks += 1;
+                detached = true;
+            } else {
+                cur = first + u32::from(cell.child_position(level));
+            }
+        }
+        Some(missing_blocks * 4 * 8 + self.record_bytes())
+    }
+
+    /// Insert (or overwrite) the cached aggregate for `cell`.
+    ///
+    /// `mins`/`maxs`/`sums` must each have `n_cols` entries.
+    pub fn insert(&mut self, cell: CellId, count: u64, mins: &[f64], maxs: &[f64], sums: &[f64]) {
+        assert!(self.root_cell.contains(cell), "cell outside trie root");
+        assert_eq!(mins.len(), self.n_cols);
+        assert_eq!(maxs.len(), self.n_cols);
+        assert_eq!(sums.len(), self.n_cols);
+
+        let mut cur = 0u32;
+        for level in (self.root_cell.level() + 1)..=cell.level() {
+            let first = self.nodes[cur as usize].first_child;
+            let first = if first == NO_CHILD {
+                let new_first = self.nodes.len() as u32;
+                self.nodes.extend(
+                    [TrieNode {
+                        first_child: NO_CHILD,
+                        agg: NO_AGG,
+                    }; 4],
+                );
+                self.nodes[cur as usize].first_child = new_first;
+                new_first
+            } else {
+                first
+            };
+            cur = first + u32::from(cell.child_position(level));
+        }
+
+        let node = &mut self.nodes[cur as usize];
+        if node.agg == NO_AGG {
+            node.agg = self.agg_counts.len() as u32;
+            self.agg_counts.push(count);
+            self.agg_values.extend_from_slice(mins);
+            self.agg_values.extend_from_slice(maxs);
+            self.agg_values.extend_from_slice(sums);
+        } else {
+            let idx = node.agg as usize;
+            self.agg_counts[idx] = count;
+            let c = self.n_cols;
+            let base = idx * 3 * c;
+            self.agg_values[base..base + c].copy_from_slice(mins);
+            self.agg_values[base + c..base + 2 * c].copy_from_slice(maxs);
+            self.agg_values[base + 2 * c..base + 3 * c].copy_from_slice(sums);
+        }
+    }
+
+    /// Apply one new tuple to every cached ancestor of `leaf` (the §5
+    /// update path: "we can do this in a single depth-first traversal").
+    pub fn update_along_path(&mut self, leaf: CellId, values: &[f64]) {
+        assert_eq!(values.len(), self.n_cols);
+        if !self.root_cell.contains(leaf) {
+            return;
+        }
+        let c = self.n_cols;
+        let mut cur = 0u32;
+        let mut level = self.root_cell.level();
+        loop {
+            let agg = self.nodes[cur as usize].agg;
+            if agg != NO_AGG {
+                let idx = agg as usize;
+                self.agg_counts[idx] += 1;
+                let base = idx * 3 * c;
+                // `col` addresses three interleaved thirds of one record.
+                #[allow(clippy::needless_range_loop)]
+                for col in 0..c {
+                    let v = values[col];
+                    if v < self.agg_values[base + col] {
+                        self.agg_values[base + col] = v;
+                    }
+                    if v > self.agg_values[base + c + col] {
+                        self.agg_values[base + c + col] = v;
+                    }
+                    self.agg_values[base + 2 * c + col] += v;
+                }
+            }
+            if level >= leaf.level() {
+                break;
+            }
+            level += 1;
+            let first = self.nodes[cur as usize].first_child;
+            if first == NO_CHILD {
+                break;
+            }
+            cur = first + u32::from(leaf.child_position(level));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> CellId {
+        CellId::from_leaf_pos(0x1234 << 40).parent_at(4)
+    }
+
+    fn sample_record() -> ([f64; 2], [f64; 2], [f64; 2]) {
+        ([1.0, -5.0], [10.0, 5.0], [30.0, 0.0])
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = AggregateTrie::new(root(), 2);
+        assert_eq!(t.num_cached(), 0);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.size_bytes(), 8);
+        assert!(t.node_for(root()).is_some());
+        assert!(t.agg_of(t.node_for(root()).unwrap()).is_none());
+        assert!(t.children_of(0).is_none());
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = AggregateTrie::new(root(), 2);
+        let cell = root().child(2).child(1);
+        let (mins, maxs, sums) = sample_record();
+        t.insert(cell, 7, &mins, &maxs, &sums);
+        let node = t.node_for(cell).expect("path exists");
+        let agg = t.agg_of(node).expect("agg cached");
+        assert_eq!(agg.count, 7);
+        assert_eq!(agg.min(0), 1.0);
+        assert_eq!(agg.max(1), 5.0);
+        assert_eq!(agg.sum(0), 30.0);
+        // Interior path node exists but carries no aggregate.
+        let mid = t.node_for(root().child(2)).unwrap();
+        assert!(t.agg_of(mid).is_none());
+        // Sibling exists structurally (block allocation) but is empty.
+        let sib = t.node_for(root().child(2).child(3)).unwrap();
+        assert!(t.agg_of(sib).is_none());
+    }
+
+    #[test]
+    fn lookup_misses() {
+        let mut t = AggregateTrie::new(root(), 2);
+        let (mins, maxs, sums) = sample_record();
+        t.insert(root().child(0), 1, &mins, &maxs, &sums);
+        // No path below child(1).
+        assert!(t.node_for(root().child(1).child(0)).is_none());
+        // Outside the root entirely.
+        let outside = root().next();
+        assert!(t.node_for(outside).is_none());
+        assert!(t.insertion_cost(outside).is_none());
+    }
+
+    #[test]
+    fn node_blocks_allocated_in_fours() {
+        let mut t = AggregateTrie::new(root(), 2);
+        let (mins, maxs, sums) = sample_record();
+        t.insert(root().child(0), 1, &mins, &maxs, &sums);
+        assert_eq!(t.num_nodes(), 5); // root + one block of 4
+        t.insert(root().child(3), 1, &mins, &maxs, &sums);
+        assert_eq!(t.num_nodes(), 5); // sibling reuses the block
+        t.insert(root().child(3).child(2), 1, &mins, &maxs, &sums);
+        assert_eq!(t.num_nodes(), 9);
+    }
+
+    #[test]
+    fn insertion_cost_predicts_size_growth() {
+        let mut t = AggregateTrie::new(root(), 2);
+        let (mins, maxs, sums) = sample_record();
+        let cell = root().child(1).child(1).child(1);
+        let cost = t.insertion_cost(cell).unwrap();
+        let before = t.size_bytes();
+        t.insert(cell, 3, &mins, &maxs, &sums);
+        assert_eq!(t.size_bytes(), before + cost);
+        // Inserting a sibling now only costs the record.
+        let sib = root().child(1).child(1).child(2);
+        assert_eq!(t.insertion_cost(sib).unwrap(), t.record_bytes());
+    }
+
+    #[test]
+    fn overwrite_replaces_record() {
+        let mut t = AggregateTrie::new(root(), 2);
+        let (mins, maxs, sums) = sample_record();
+        let cell = root().child(2);
+        t.insert(cell, 7, &mins, &maxs, &sums);
+        t.insert(cell, 9, &[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]);
+        assert_eq!(t.num_cached(), 1);
+        let agg = t.agg_of(t.node_for(cell).unwrap()).unwrap();
+        assert_eq!(agg.count, 9);
+        assert_eq!(agg.sum(1), 2.0);
+    }
+
+    #[test]
+    fn update_along_path_touches_cached_ancestors_only() {
+        let mut t = AggregateTrie::new(root(), 1);
+        t.insert(root(), 10, &[0.0], &[5.0], &[20.0]);
+        t.insert(root().child(1), 4, &[1.0], &[4.0], &[8.0]);
+        // A leaf below child(1): both cached records update.
+        let leaf = root().child(1).child_begin(30);
+        t.update_along_path(leaf, &[9.0]);
+        let r = t.agg_of(t.node_for(root()).unwrap()).unwrap();
+        assert_eq!(r.count, 11);
+        assert_eq!(r.max(0), 9.0);
+        assert_eq!(r.sum(0), 29.0);
+        let c = t.agg_of(t.node_for(root().child(1)).unwrap()).unwrap();
+        assert_eq!(c.count, 5);
+        assert_eq!(c.sum(0), 17.0);
+        // A leaf below child(0): only the root updates.
+        let leaf0 = root().child(0).child_begin(30);
+        t.update_along_path(leaf0, &[-3.0]);
+        let r = t.agg_of(t.node_for(root()).unwrap()).unwrap();
+        assert_eq!(r.count, 12);
+        assert_eq!(r.min(0), -3.0);
+        let c = t.agg_of(t.node_for(root().child(1)).unwrap()).unwrap();
+        assert_eq!(c.count, 5, "sibling path untouched");
+    }
+
+    #[test]
+    fn size_accounting_matches_paper_layout() {
+        // 40-byte aggregates (Figure 7): count 8 B + 3 agg × 8 B... with
+        // n_cols such that the record is comparable. For n_cols = 2:
+        // 8 + 48 = 56 B per record, 8 B per node.
+        let mut t = AggregateTrie::new(root(), 2);
+        assert_eq!(t.record_bytes(), 56);
+        let (mins, maxs, sums) = sample_record();
+        t.insert(root().child(0), 1, &mins, &maxs, &sums);
+        assert_eq!(t.size_bytes(), 5 * 8 + 56);
+    }
+}

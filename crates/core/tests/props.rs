@@ -1,0 +1,169 @@
+//! Property tests for the GeoBlocks core: the data structure must agree
+//! with brute-force aggregation over its own covering for *any* data and
+//! *any* polygon, and the cache/coarsen/update layers must never change
+//! answers.
+
+use gb_cell::{CellId, Grid};
+use gb_data::{
+    extract, AggFunc, AggRequest, AggSpec, CleaningRules, ColumnDef, Filter, RawTable, Rows, Schema,
+};
+use gb_geom::{convex_hull, Point, Polygon, Rect};
+use geoblocks::{build, AggResult, GeoBlockQC};
+use proptest::prelude::*;
+
+const DOMAIN: f64 = 100.0;
+
+fn schema() -> Schema {
+    Schema::new(vec![ColumnDef::f64("v"), ColumnDef::i64("k")])
+}
+
+fn spec() -> AggSpec {
+    AggSpec::new(vec![
+        AggRequest::new(AggFunc::Count, 0),
+        AggRequest::new(AggFunc::Sum, 0),
+        AggRequest::new(AggFunc::Min, 0),
+        AggRequest::new(AggFunc::Max, 1),
+        AggRequest::new(AggFunc::Avg, 1),
+    ])
+}
+
+fn make_base(points: &[(f64, f64)]) -> gb_data::BaseTable {
+    let mut raw = RawTable::new(schema());
+    for (i, &(x, y)) in points.iter().enumerate() {
+        raw.push_row(Point::new(x, y), &[i as f64 * 0.5 - 3.0, (i % 11) as f64]);
+    }
+    let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, DOMAIN, DOMAIN));
+    extract(&raw, grid, &CleaningRules::none(), None).base
+}
+
+fn make_polygon(seeds: &[(f64, f64)]) -> Option<Polygon> {
+    let pts: Vec<Point> = seeds.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let hull = convex_hull(&pts);
+    (hull.len() >= 3).then(|| Polygon::new(hull))
+}
+
+/// Brute-force reference: aggregate every row whose leaf cell lies in the
+/// block's covering of the polygon.
+fn covering_truth(
+    base: &gb_data::BaseTable,
+    block: &geoblocks::GeoBlock,
+    poly: &Polygon,
+    s: &AggSpec,
+) -> AggResult {
+    let covering = block.cover(poly);
+    let mut acc = AggResult::new(s);
+    for row in 0..base.num_rows() {
+        if covering.contains(CellId::from_raw(base.keys()[row])) {
+            acc.combine_tuple(s, |c| base.value_f64(row, c));
+        }
+    }
+    acc.finalize(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn select_matches_brute_force(
+        points in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 50..400),
+        seeds in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 3..10),
+        level in 4u8..12,
+    ) {
+        prop_assume!(make_polygon(&seeds).is_some());
+        let poly = make_polygon(&seeds).unwrap();
+        let base = make_base(&points);
+        let (block, _) = build(&base, level, &Filter::all());
+        let s = spec();
+
+        let (got, _) = block.select(&poly, &s);
+        let want = covering_truth(&base, &block, &poly, &s);
+        prop_assert!(got.approx_eq(&want, 1e-9), "{:?} vs {:?}", got, want);
+
+        // COUNT agrees with SELECT's count.
+        let (cnt, _) = block.count(&poly);
+        prop_assert_eq!(cnt, got.count);
+
+        // Listing-1 variant agrees with the optimised scan.
+        let (l1, _) = block.select_listing1(&poly, &s);
+        prop_assert!(l1.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn qc_never_changes_results(
+        points in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 50..300),
+        seeds in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 3..8),
+        threshold in 0.0f64..1.0,
+        repeats in 1usize..4,
+    ) {
+        prop_assume!(make_polygon(&seeds).is_some());
+        let poly = make_polygon(&seeds).unwrap();
+        let base = make_base(&points);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let s = spec();
+        let (want, _) = block.select(&poly, &s);
+
+        let mut qc = GeoBlockQC::new(block, threshold);
+        for _ in 0..repeats {
+            let (got, _) = qc.select(&poly, &s);
+            prop_assert!(got.approx_eq(&want, 1e-9));
+            qc.rebuild_cache();
+        }
+        let (after, _) = qc.select(&poly, &s);
+        prop_assert!(after.approx_eq(&want, 1e-9));
+        prop_assert!(qc.trie().size_bytes() <= qc.budget_bytes().max(8));
+    }
+
+    #[test]
+    fn coarsen_equals_direct_build(
+        points in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 30..300),
+        fine in 6u8..12,
+        drop in 1u8..5,
+    ) {
+        let coarse_level = fine.saturating_sub(drop);
+        let base = make_base(&points);
+        let (fine_block, _) = build(&base, fine, &Filter::all());
+        let (direct, _) = build(&base, coarse_level, &Filter::all());
+        let coarse = fine_block.coarsen(coarse_level);
+        coarse.check_invariants();
+        prop_assert_eq!(coarse.num_cells(), direct.num_cells());
+        prop_assert_eq!(coarse.num_rows(), direct.num_rows());
+    }
+
+    #[test]
+    fn filtered_build_counts_match_filter(
+        points in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 30..300),
+        threshold in -3.0f64..150.0,
+    ) {
+        let base = make_base(&points);
+        let filter = Filter::on(&base, "v", gb_data::CmpOp::Ge, threshold);
+        let expected = filter.matching_rows(&base).len() as u64;
+        let (block, _) = build(&base, 9, &filter);
+        prop_assert_eq!(block.num_rows(), expected);
+        block.check_invariants();
+    }
+
+    #[test]
+    fn updates_preserve_select_count_equality(
+        points in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 30..200),
+        updates in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 1..40),
+        seeds in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 3..8),
+    ) {
+        prop_assume!(make_polygon(&seeds).is_some());
+        let poly = make_polygon(&seeds).unwrap();
+        let base = make_base(&points);
+        let (mut block, _) = build(&base, 8, &Filter::all());
+
+        let mut batch = geoblocks::UpdateBatch::new();
+        for &(x, y) in &updates {
+            batch.push(Point::new(x, y), vec![1.0, 2.0]);
+        }
+        block.apply_updates(&batch);
+        block.check_invariants();
+
+        prop_assert_eq!(block.num_rows(), (points.len() + updates.len()) as u64);
+        let s = spec();
+        let (sel, _) = block.select(&poly, &s);
+        let (cnt, _) = block.count(&poly);
+        prop_assert_eq!(sel.count, cnt);
+    }
+}

@@ -1,0 +1,109 @@
+//! Column schemas for point tables.
+//!
+//! §2: points are `P(l, v₀, v₁, …, vₙ)` — a location plus numerical or
+//! temporal attributes. We model attributes as typed columns; aggregates are
+//! computed in `f64` (temporal columns are epoch seconds, whose magnitudes
+//! stay well within `f64`'s 53-bit exact-integer range).
+
+/// The physical type of an attribute column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit floating point (monetary amounts, distances, rates).
+    F64,
+    /// 64-bit signed integer (counts, epoch timestamps).
+    I64,
+}
+
+/// One attribute column's definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    pub fn f64(name: &str) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty: ColumnType::F64,
+        }
+    }
+
+    pub fn i64(name: &str) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty: ColumnType::I64,
+        }
+    }
+}
+
+/// An ordered set of attribute columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), columns.len(), "duplicate column names");
+        Schema { columns }
+    }
+
+    /// Number of attribute columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column definitions in order.
+    #[inline]
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Definition at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec![ColumnDef::f64("fare"), ColumnDef::i64("passengers")]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("fare"), Some(0));
+        assert_eq!(s.index_of("passengers"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.column(1).ty, ColumnType::I64);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column names")]
+    fn rejects_duplicates() {
+        Schema::new(vec![ColumnDef::f64("a"), ColumnDef::i64("a")]);
+    }
+
+    #[test]
+    fn empty_schema_ok() {
+        let s = Schema::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

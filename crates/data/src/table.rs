@@ -1,0 +1,444 @@
+//! Columnar point tables: raw input and sorted base data.
+//!
+//! §3.3 / Figure 5: the pipeline is *extract* (clean raw data, compute
+//! 1-D spatial keys, sort once per dataset) then *build* (filter +
+//! aggregate per GeoBlock). [`RawTable`] is the dirty input; [`BaseTable`]
+//! is the cleaned, key-sorted columnar base data every index builds from.
+//! "We keep all data in a columnar layout" (§4.1).
+
+use crate::schema::{ColumnType, Schema};
+use gb_cell::Grid;
+use gb_geom::Point;
+
+/// A typed attribute column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::F64 => Column::F64(Vec::new()),
+            ColumnType::I64 => Column::I64(Vec::new()),
+        }
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::I64(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `row` widened to `f64` (exact for i64 up to 2^53).
+    #[inline]
+    pub fn value_f64(&self, row: usize) -> f64 {
+        match self {
+            Column::F64(v) => v[row],
+            Column::I64(v) => v[row] as f64,
+        }
+    }
+
+    /// Append a value given as `f64` (truncates toward zero for I64).
+    #[inline]
+    pub fn push_f64(&mut self, value: f64) {
+        match self {
+            Column::F64(v) => v.push(value),
+            Column::I64(v) => v.push(value as i64),
+        }
+    }
+
+    /// Apply a permutation: `out[i] = self[perm[i]]`.
+    fn permuted(&self, perm: &[u32]) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(perm.iter().map(|&i| v[i as usize]).collect()),
+            Column::I64(v) => Column::I64(perm.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+
+    /// Gather the rows in `rows` (used by the filtered-build paths).
+    fn gathered(&self, rows: &[u32]) -> Column {
+        self.permuted(rows)
+    }
+
+    /// Heap bytes used.
+    pub fn memory_bytes(&self) -> usize {
+        8 * self.len()
+    }
+}
+
+/// Read access to rows of a columnar table — shared by filters and
+/// aggregators across [`RawTable`] and [`BaseTable`].
+pub trait Rows {
+    /// Number of rows.
+    fn num_rows(&self) -> usize;
+    /// Attribute value (widened to f64) of `row` in column `col`.
+    fn value_f64(&self, row: usize, col: usize) -> f64;
+    /// The schema.
+    fn schema(&self) -> &Schema;
+    /// The location of `row`.
+    fn location(&self, row: usize) -> Point;
+}
+
+/// Unsorted, possibly dirty input data (pre-extract).
+#[derive(Debug, Clone)]
+pub struct RawTable {
+    schema: Schema,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    columns: Vec<Column>,
+}
+
+impl RawTable {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.columns().iter().map(|c| Column::new(c.ty)).collect();
+        RawTable {
+            schema,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            columns,
+        }
+    }
+
+    /// Append a row. `values` must match the schema arity.
+    pub fn push_row(&mut self, location: Point, values: &[f64]) {
+        assert_eq!(values.len(), self.schema.len(), "row arity mismatch");
+        self.xs.push(location.x);
+        self.ys.push(location.y);
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push_f64(v);
+        }
+    }
+
+    /// Reserve capacity for `n` additional rows.
+    pub fn reserve(&mut self, n: usize) {
+        self.xs.reserve(n);
+        self.ys.reserve(n);
+    }
+
+    /// The attribute columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// X coordinates of all rows.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Y coordinates of all rows.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Heap bytes of the table payload.
+    pub fn memory_bytes(&self) -> usize {
+        16 * self.xs.len() + self.columns.iter().map(Column::memory_bytes).sum::<usize>()
+    }
+}
+
+impl Rows for RawTable {
+    #[inline]
+    fn num_rows(&self) -> usize {
+        self.xs.len()
+    }
+
+    #[inline]
+    fn value_f64(&self, row: usize, col: usize) -> f64 {
+        self.columns[col].value_f64(row)
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    #[inline]
+    fn location(&self, row: usize) -> Point {
+        Point::new(self.xs[row], self.ys[row])
+    }
+}
+
+/// Cleaned base data, sorted by the 1-D spatial key (leaf cell id).
+///
+/// This is what the extract phase produces once per dataset and what every
+/// index (GeoBlocks and baselines alike) is built from. Keys are raw
+/// [`gb_cell::CellId`] leaf values, so key order == space-filling-curve
+/// order and each block-level cell's rows form one contiguous run.
+#[derive(Debug, Clone)]
+pub struct BaseTable {
+    grid: Grid,
+    schema: Schema,
+    keys: Vec<u64>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    columns: Vec<Column>,
+}
+
+impl BaseTable {
+    /// Assemble from parts; validates sortedness and arity.
+    pub(crate) fn from_parts(
+        grid: Grid,
+        schema: Schema,
+        keys: Vec<u64>,
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        columns: Vec<Column>,
+    ) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        assert_eq!(keys.len(), xs.len());
+        assert_eq!(keys.len(), ys.len());
+        for c in &columns {
+            assert_eq!(c.len(), keys.len());
+        }
+        assert_eq!(columns.len(), schema.len());
+        BaseTable {
+            grid,
+            schema,
+            keys,
+            xs,
+            ys,
+            columns,
+        }
+    }
+
+    /// The grid the keys were generated on.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Sorted leaf-cell keys, one per row.
+    #[inline]
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// X coordinates (kept for exact ground truth / rectangular indexes).
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Y coordinates.
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The attribute columns.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// First row whose key is ≥ `key` (lower bound).
+    #[inline]
+    pub fn lower_bound(&self, key: u64) -> usize {
+        self.keys.partition_point(|&k| k < key)
+    }
+
+    /// First row whose key is > `key` (upper bound).
+    #[inline]
+    pub fn upper_bound(&self, key: u64) -> usize {
+        self.keys.partition_point(|&k| k <= key)
+    }
+
+    /// Heap bytes of the base data (keys + coordinates + columns) — the
+    /// denominator of the paper's "relative overhead" (Figure 11b).
+    pub fn memory_bytes(&self) -> usize {
+        8 * self.keys.len()
+            + 16 * self.xs.len()
+            + self.columns.iter().map(Column::memory_bytes).sum::<usize>()
+    }
+
+    /// A new `BaseTable` with only the rows in `rows` (already key-sorted
+    /// because `rows` is ascending). Used by incremental filtered builds.
+    pub fn gather(&self, rows: &[u32]) -> BaseTable {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        BaseTable {
+            grid: self.grid,
+            schema: self.schema.clone(),
+            keys: rows.iter().map(|&i| self.keys[i as usize]).collect(),
+            xs: rows.iter().map(|&i| self.xs[i as usize]).collect(),
+            ys: rows.iter().map(|&i| self.ys[i as usize]).collect(),
+            columns: self.columns.iter().map(|c| c.gathered(rows)).collect(),
+        }
+    }
+
+    /// A prefix subset of `n` rows (scaling experiments, Figure 13).
+    pub fn truncated(&self, n: usize) -> BaseTable {
+        let n = n.min(self.keys.len());
+        BaseTable {
+            grid: self.grid,
+            schema: self.schema.clone(),
+            keys: self.keys[..n].to_vec(),
+            xs: self.xs[..n].to_vec(),
+            ys: self.ys[..n].to_vec(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| match c {
+                    Column::F64(v) => Column::F64(v[..n].to_vec()),
+                    Column::I64(v) => Column::I64(v[..n].to_vec()),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Rows for BaseTable {
+    #[inline]
+    fn num_rows(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn value_f64(&self, row: usize, col: usize) -> f64 {
+        self.columns[col].value_f64(row)
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    #[inline]
+    fn location(&self, row: usize) -> Point {
+        Point::new(self.xs[row], self.ys[row])
+    }
+}
+
+/// Sort `(key, row)` pairs and produce the permutation plus sorted keys.
+pub(crate) fn sort_permutation(keys: &[u64]) -> (Vec<u64>, Vec<u32>) {
+    assert!(keys.len() <= u32::MAX as usize, "row indices stored as u32");
+    let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+    perm.sort_unstable_by_key(|&i| keys[i as usize]);
+    let sorted = perm.iter().map(|&i| keys[i as usize]).collect();
+    (sorted, perm)
+}
+
+/// Apply the permutation produced by [`sort_permutation`] to build a
+/// [`BaseTable`] out of raw parts.
+pub(crate) fn apply_permutation(
+    grid: Grid,
+    schema: Schema,
+    sorted_keys: Vec<u64>,
+    perm: &[u32],
+    xs: &[f64],
+    ys: &[f64],
+    columns: &[Column],
+) -> BaseTable {
+    BaseTable::from_parts(
+        grid,
+        schema,
+        sorted_keys,
+        perm.iter().map(|&i| xs[i as usize]).collect(),
+        perm.iter().map(|&i| ys[i as usize]).collect(),
+        columns.iter().map(|c| c.permuted(perm)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use gb_geom::Rect;
+
+    fn grid() -> Grid {
+        Grid::hilbert(Rect::from_bounds(0.0, 0.0, 10.0, 10.0))
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::f64("v"), ColumnDef::i64("n")])
+    }
+
+    #[test]
+    fn raw_table_push_and_read() {
+        let mut t = RawTable::new(schema());
+        t.push_row(Point::new(1.0, 2.0), &[3.5, 7.0]);
+        t.push_row(Point::new(4.0, 5.0), &[1.25, -2.0]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value_f64(0, 0), 3.5);
+        assert_eq!(t.value_f64(1, 1), -2.0);
+        assert_eq!(t.location(1), Point::new(4.0, 5.0));
+        assert_eq!(t.memory_bytes(), 2 * 16 + 2 * 8 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn raw_table_rejects_bad_arity() {
+        let mut t = RawTable::new(schema());
+        t.push_row(Point::new(0.0, 0.0), &[1.0]);
+    }
+
+    #[test]
+    fn i64_column_truncates() {
+        let mut c = Column::new(ColumnType::I64);
+        c.push_f64(3.9);
+        assert_eq!(c.value_f64(0), 3.0);
+    }
+
+    #[test]
+    fn sort_permutation_orders_keys() {
+        let keys = vec![5u64, 1, 9, 1, 3];
+        let (sorted, perm) = sort_permutation(&keys);
+        assert_eq!(sorted, vec![1, 1, 3, 5, 9]);
+        assert_eq!(perm.len(), 5);
+        // Permutation actually maps to the sorted order.
+        for (i, &p) in perm.iter().enumerate() {
+            assert_eq!(keys[p as usize], sorted[i]);
+        }
+    }
+
+    #[test]
+    fn base_table_bounds() {
+        let g = grid();
+        let t = BaseTable::from_parts(
+            g,
+            Schema::default(),
+            vec![1, 3, 3, 7],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            vec![],
+        );
+        assert_eq!(t.lower_bound(3), 1);
+        assert_eq!(t.upper_bound(3), 3);
+        assert_eq!(t.lower_bound(0), 0);
+        assert_eq!(t.lower_bound(8), 4);
+    }
+
+    #[test]
+    fn base_table_gather_and_truncate() {
+        let g = grid();
+        let t = BaseTable::from_parts(
+            g,
+            schema(),
+            vec![1, 3, 5, 7],
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![
+                Column::F64(vec![10.0, 20.0, 30.0, 40.0]),
+                Column::I64(vec![1, 2, 3, 4]),
+            ],
+        );
+        let sub = t.gather(&[1, 3]);
+        assert_eq!(sub.keys(), &[3, 7]);
+        assert_eq!(sub.value_f64(1, 0), 40.0);
+        assert_eq!(sub.location(0), Point::new(0.2, 2.0));
+        let pre = t.truncated(2);
+        assert_eq!(pre.keys(), &[1, 3]);
+        assert_eq!(pre.num_rows(), 2);
+        // Truncation beyond the length is clamped.
+        assert_eq!(t.truncated(99).num_rows(), 4);
+    }
+}

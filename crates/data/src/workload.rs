@@ -1,0 +1,261 @@
+//! Query workloads (§4.1).
+//!
+//! "As a base workload, we build a query containing each polygon once. For
+//! the skewed workload, we select 10 % of neighborhoods uniformly at random
+//! and query them multiple times. We select 7 aggregates, requesting each
+//! column at least once, as query output."
+
+use crate::schema::Schema;
+use gb_common::rng::{derive_seed, rng_from_seed};
+use gb_geom::Polygon;
+use rand::seq::SliceRandom;
+
+/// A non-holistic aggregate function (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    /// Computed as sum/count (§3.4).
+    Avg,
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One requested output aggregate: a function over a column.
+///
+/// `Count` ignores the column (any index is accepted; use 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggRequest {
+    pub func: AggFunc,
+    pub column: usize,
+}
+
+impl AggRequest {
+    pub fn new(func: AggFunc, column: usize) -> Self {
+        AggRequest { func, column }
+    }
+}
+
+/// The set of aggregates a query extracts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AggSpec {
+    pub requests: Vec<AggRequest>,
+}
+
+impl AggSpec {
+    pub fn new(requests: Vec<AggRequest>) -> Self {
+        AggSpec { requests }
+    }
+
+    /// Just `COUNT(*)`.
+    pub fn count_only() -> Self {
+        AggSpec::new(vec![AggRequest::new(AggFunc::Count, 0)])
+    }
+
+    /// `k` aggregates cycling through the schema's columns and the
+    /// functions sum/min/max/avg — the Figure-10 "number of aggregates"
+    /// axis.
+    pub fn k_aggregates(schema: &Schema, k: usize) -> Self {
+        assert!(!schema.is_empty(), "need at least one column");
+        const FUNCS: [AggFunc; 4] = [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg];
+        let requests = (0..k)
+            .map(|i| AggRequest::new(FUNCS[i % FUNCS.len()], i % schema.len()))
+            .collect();
+        AggSpec::new(requests)
+    }
+
+    /// The paper's default: 7 aggregates touching every column at least
+    /// once (only valid for schemas with ≤ 7 columns).
+    pub fn paper_default(schema: &Schema) -> Self {
+        AggSpec::k_aggregates(schema, 7.max(schema.len()))
+    }
+
+    /// Number of requested aggregates.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Largest referenced column index (`None` for pure counts).
+    pub fn max_column(&self) -> Option<usize> {
+        self.requests
+            .iter()
+            .filter(|r| r.func != AggFunc::Count)
+            .map(|r| r.column)
+            .max()
+    }
+}
+
+/// One spatial aggregation query: a polygon plus requested aggregates.
+#[derive(Debug, Clone)]
+pub struct Query {
+    pub polygon: Polygon,
+    pub spec: AggSpec,
+}
+
+/// A sequence of queries (executed in order; order matters for the cache).
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// The base workload: every polygon exactly once.
+    pub fn base(polygons: &[Polygon], spec: &AggSpec) -> Self {
+        Workload {
+            queries: polygons
+                .iter()
+                .map(|p| Query {
+                    polygon: p.clone(),
+                    spec: spec.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The skewed workload: `fraction` of the polygons (uniformly sampled
+    /// with `seed`), each queried `repeats` times.
+    pub fn skewed(
+        polygons: &[Polygon],
+        fraction: f64,
+        repeats: usize,
+        spec: &AggSpec,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let mut rng = rng_from_seed(derive_seed(seed, "skewed_workload"));
+        let k = ((polygons.len() as f64 * fraction).round() as usize).max(1);
+        let mut chosen: Vec<&Polygon> = polygons.iter().collect();
+        chosen.shuffle(&mut rng);
+        chosen.truncate(k);
+
+        let mut queries = Vec::with_capacity(k * repeats);
+        for _ in 0..repeats {
+            for p in &chosen {
+                queries.push(Query {
+                    polygon: (*p).clone(),
+                    spec: spec.clone(),
+                });
+            }
+        }
+        Workload { queries }
+    }
+
+    /// Concatenate workloads (the paper's "base + 4× skewed" combination).
+    pub fn concat(parts: &[&Workload]) -> Self {
+        Workload {
+            queries: parts
+                .iter()
+                .flat_map(|w| w.queries.iter().cloned())
+                .collect(),
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use gb_geom::Rect;
+
+    fn polys(n: usize) -> Vec<Polygon> {
+        (0..n)
+            .map(|i| Polygon::rectangle(Rect::from_bounds(i as f64, 0.0, i as f64 + 0.5, 0.5)))
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::f64("a"),
+            ColumnDef::f64("b"),
+            ColumnDef::f64("c"),
+        ])
+    }
+
+    #[test]
+    fn k_aggregates_counts_and_coverage() {
+        let s = schema();
+        for k in [1usize, 2, 4, 8] {
+            let spec = AggSpec::k_aggregates(&s, k);
+            assert_eq!(spec.len(), k);
+            for r in &spec.requests {
+                assert!(r.column < s.len());
+            }
+        }
+        // k ≥ columns touches every column.
+        let spec = AggSpec::k_aggregates(&s, 7);
+        let mut touched: Vec<usize> = spec.requests.iter().map(|r| r.column).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        assert_eq!(touched, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn base_workload_one_query_per_polygon() {
+        let w = Workload::base(&polys(5), &AggSpec::count_only());
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn skewed_workload_repeats_subset() {
+        let p = polys(50);
+        let w = Workload::skewed(&p, 0.1, 4, &AggSpec::count_only(), 3);
+        assert_eq!(w.len(), 5 * 4);
+        // Only 5 distinct polygons appear.
+        let mut firsts: Vec<f64> = w.queries.iter().map(|q| q.polygon.bbox().min.x).collect();
+        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        firsts.dedup();
+        assert_eq!(firsts.len(), 5);
+        // Deterministic per seed.
+        let w2 = Workload::skewed(&p, 0.1, 4, &AggSpec::count_only(), 3);
+        assert_eq!(
+            w.queries[0].polygon.exterior(),
+            w2.queries[0].polygon.exterior()
+        );
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let p = polys(3);
+        let base = Workload::base(&p, &AggSpec::count_only());
+        let skew = Workload::skewed(&p, 0.34, 2, &AggSpec::count_only(), 1);
+        let all = Workload::concat(&[&base, &skew]);
+        assert_eq!(all.len(), base.len() + skew.len());
+        assert_eq!(
+            all.queries[0].polygon.exterior(),
+            base.queries[0].polygon.exterior()
+        );
+    }
+
+    #[test]
+    fn spec_max_column() {
+        assert_eq!(AggSpec::count_only().max_column(), None);
+        let s = schema();
+        assert_eq!(AggSpec::k_aggregates(&s, 8).max_column(), Some(2));
+    }
+}

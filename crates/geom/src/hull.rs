@@ -1,0 +1,128 @@
+//! Convex hull (Andrew's monotone chain).
+//!
+//! The synthetic polygon generators in `gb-data` produce the paper's "simple
+//! quadrilaterals or pentagons" by sampling a handful of points and taking
+//! their hull, so a small exact hull routine lives here.
+
+use crate::point::Point;
+
+/// Convex hull of `points` in counter-clockwise order, without a repeated
+/// closing vertex. Collinear points on the hull boundary are dropped.
+///
+/// Returns fewer than 3 points when the input is degenerate.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(1.0, 1.0), // interior
+            p(0.5, 1.5), // interior
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(h.contains(&p(0.0, 0.0)));
+        assert!(h.contains(&p(2.0, 2.0)));
+        assert!(!h.contains(&p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = vec![p(0.0, 0.0), p(3.0, 1.0), p(1.0, 4.0), p(2.0, 2.0)];
+        let h = convex_hull(&pts);
+        let area: f64 = (0..h.len()).map(|i| h[i].cross(h[(i + 1) % h.len()])).sum();
+        assert!(area > 0.0, "hull should be counter-clockwise");
+    }
+
+    #[test]
+    fn collinear_points_dropped() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(!h.contains(&p(1.0, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(convex_hull(&[]).len(), 0);
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(1.0, 1.0), p(2.0, 2.0)]).len(), 2);
+        // All collinear: reduced to the two extremes.
+        let line = vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)];
+        assert_eq!(convex_hull(&line).len(), 2);
+        // Duplicates collapse.
+        let dup = vec![p(1.0, 1.0), p(1.0, 1.0), p(1.0, 1.0)];
+        assert_eq!(convex_hull(&dup).len(), 1);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        use crate::polygon::Polygon;
+        let pts: Vec<Point> = (0..30)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                p(
+                    a.sin() * (i as f64 % 5.0 + 1.0),
+                    a.cos() * (i as f64 % 7.0 + 1.0),
+                )
+            })
+            .collect();
+        let h = convex_hull(&pts);
+        assert!(h.len() >= 3);
+        let poly = Polygon::new(h);
+        for &q in &pts {
+            assert!(poly.contains_point(q), "{q:?} escaped the hull");
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Pole of inaccessibility and maximal interior rectangles.
+//!
+//! The paper's PH-tree baseline only supports rectangular window queries, so
+//! §4.1 maps each query polygon to "the interior rectangle of the query
+//! polygon" before probing it (and the aR-tree gets the same region in our
+//! harness). This module reproduces that machinery from scratch:
+//!
+//! * [`pole_of_inaccessibility`] — the polylabel grid algorithm (Mapbox):
+//!   the interior point with maximal distance to the outline, found with a
+//!   best-first search over quadtree cells of the bounding box.
+//! * [`interior_rect`] — an axis-aligned rectangle inside the polygon,
+//!   grown around the pole by binary search on the scale factor.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::relate::rect_inside_polygon;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Signed distance from `p` to the polygon outline: positive inside,
+/// negative outside.
+pub fn signed_distance(poly: &Polygon, p: Point) -> f64 {
+    let mut min_dist = f64::INFINITY;
+    for (a, b) in poly.edges() {
+        min_dist = min_dist.min(p.distance_to_segment(a, b));
+    }
+    if poly.contains_point(p) {
+        min_dist
+    } else {
+        -min_dist
+    }
+}
+
+/// A search cell in the polylabel queue, ordered by its upper bound
+/// (`dist + half·√2`) on the best signed distance achievable inside it.
+struct Cell {
+    center: Point,
+    half: f64,
+    dist: f64,
+    potential: f64,
+}
+
+impl Cell {
+    fn new(center: Point, half: f64, poly: &Polygon) -> Self {
+        let dist = signed_distance(poly, center);
+        Cell {
+            center,
+            half,
+            dist,
+            potential: dist + half * std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+impl PartialEq for Cell {
+    fn eq(&self, other: &Self) -> bool {
+        self.potential == other.potential
+    }
+}
+impl Eq for Cell {}
+impl PartialOrd for Cell {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cell {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.potential
+            .partial_cmp(&other.potential)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// The polygon-interior point farthest from the outline, within `precision`
+/// (in coordinate units) of the optimum.
+pub fn pole_of_inaccessibility(poly: &Polygon, precision: f64) -> Point {
+    let bbox = poly.bbox();
+    let size = bbox.width().min(bbox.height());
+    if size == 0.0 {
+        return bbox.center();
+    }
+    let precision = precision.max(size * 1e-6);
+
+    let mut heap = BinaryHeap::new();
+    // Seed with a square grid over the bounding box.
+    let half = size / 2.0;
+    let mut x = bbox.min.x;
+    while x < bbox.max.x {
+        let mut y = bbox.min.y;
+        while y < bbox.max.y {
+            heap.push(Cell::new(Point::new(x + half, y + half), half, poly));
+            y += size;
+        }
+        x += size;
+    }
+
+    // Initial best guesses: centroid and bbox center.
+    let mut best = Cell::new(poly.centroid(), 0.0, poly);
+    let bbox_cell = Cell::new(bbox.center(), 0.0, poly);
+    if bbox_cell.dist > best.dist {
+        best = bbox_cell;
+    }
+
+    while let Some(cell) = heap.pop() {
+        if cell.dist > best.dist {
+            best = Cell {
+                center: cell.center,
+                half: 0.0,
+                dist: cell.dist,
+                potential: cell.dist,
+            };
+        }
+        if cell.potential - best.dist <= precision {
+            continue; // cannot beat the incumbent by more than `precision`
+        }
+        let h = cell.half / 2.0;
+        for (dx, dy) in [(-h, -h), (h, -h), (-h, h), (h, h)] {
+            heap.push(Cell::new(
+                Point::new(cell.center.x + dx, cell.center.y + dy),
+                h,
+                poly,
+            ));
+        }
+    }
+    best.center
+}
+
+/// An axis-aligned rectangle contained in `poly`.
+///
+/// The rectangle keeps the aspect ratio of the polygon's bounding box, is
+/// centred on the pole of inaccessibility, and is scaled up by binary search
+/// until it would leave the polygon. This is not the *maximum* interior
+/// rectangle (NP-ish to get exactly) but matches the paper's usage: a
+/// deliberately conservative rectangular under-approximation that "covers
+/// fewer points than our approach".
+///
+/// Returns `None` for degenerate polygons with no interior.
+pub fn interior_rect(poly: &Polygon) -> Option<Rect> {
+    // A moderate pole precision suffices: the per-side binary search below
+    // does the fine positioning. Asking polylabel for near-exactness is
+    // also pathological on shapes whose distance field has a ridge of ties
+    // (e.g. rectangles: every cell along the center line subdivides until
+    // the precision floor — exponential work for no benefit).
+    let bbox = poly.bbox();
+    let precision = 0.01 * bbox.width().min(bbox.height());
+    let pole = pole_of_inaccessibility(poly, precision);
+    let radius = signed_distance(poly, pole);
+    if radius <= 0.0 {
+        return None;
+    }
+
+    // Start from the inscribed-circle square (guaranteed inside) and grow
+    // towards the bbox aspect ratio.
+    let aspect = if bbox.height() > 0.0 {
+        bbox.width() / bbox.height()
+    } else {
+        1.0
+    };
+    let (unit_w, unit_h) = if aspect >= 1.0 {
+        (aspect, 1.0)
+    } else {
+        (1.0, 1.0 / aspect)
+    };
+
+    let rect_at = |s: f64| -> Rect {
+        Rect::from_bounds(
+            pole.x - unit_w * s,
+            pole.y - unit_h * s,
+            pole.x + unit_w * s,
+            pole.y + unit_h * s,
+        )
+    };
+
+    // Find an upper bound that is definitely outside, then bisect. The
+    // inscribed-circle estimate can land corners exactly ON the outline
+    // (e.g. squares inscribed in diamonds), which classifies as Boundary;
+    // the shrink loop below recovers.
+    let mut lo = radius / (unit_w.max(unit_h) * std::f64::consts::SQRT_2);
+    if !rect_inside_polygon(poly, &rect_at(lo)) {
+        // Numerical edge: shrink until inside.
+        for _ in 0..16 {
+            lo *= 0.5;
+            if rect_inside_polygon(poly, &rect_at(lo)) {
+                break;
+            }
+        }
+        if !rect_inside_polygon(poly, &rect_at(lo)) {
+            return None;
+        }
+    }
+    let mut hi = lo * 2.0;
+    while rect_inside_polygon(poly, &rect_at(hi)) {
+        lo = hi;
+        hi *= 2.0;
+        if hi * unit_w.max(unit_h) > bbox.diagonal() {
+            break;
+        }
+    }
+    for _ in 0..40 {
+        let mid = (lo + hi) * 0.5;
+        if rect_inside_polygon(poly, &rect_at(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    // Refinement: grow each side independently as far as it can go. For
+    // axis-aligned polygons this converges to (essentially) the polygon
+    // itself; for general polygons it squeezes out the slack the uniform
+    // scaling left behind.
+    let mut rect = rect_at(lo);
+    for side in 0..4 {
+        let (mut lo_v, mut hi_v) = match side {
+            0 => (rect.min.x, bbox.min.x), // grow left edge outward
+            1 => (rect.max.x, bbox.max.x),
+            2 => (rect.min.y, bbox.min.y),
+            _ => (rect.max.y, bbox.max.y),
+        };
+        for _ in 0..30 {
+            let mid = (lo_v + hi_v) * 0.5;
+            let mut candidate = rect;
+            match side {
+                0 => candidate.min.x = mid,
+                1 => candidate.max.x = mid,
+                2 => candidate.min.y = mid,
+                _ => candidate.max.y = mid,
+            }
+            if rect_inside_polygon(poly, &candidate) {
+                lo_v = mid;
+            } else {
+                hi_v = mid;
+            }
+        }
+        match side {
+            0 => rect.min.x = lo_v,
+            1 => rect.max.x = lo_v,
+            2 => rect.min.y = lo_v,
+            _ => rect.max.y = lo_v,
+        }
+    }
+    debug_assert!(rect_inside_polygon(poly, &rect));
+    Some(rect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pole_of_square_is_center() {
+        let sq = Polygon::rectangle(Rect::from_bounds(0.0, 0.0, 2.0, 2.0));
+        let p = pole_of_inaccessibility(&sq, 1e-6);
+        assert!(
+            (p.x - 1.0).abs() < 1e-3 && (p.y - 1.0).abs() < 1e-3,
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn pole_avoids_concavity() {
+        // U-shape: the pole must sit in one of the prongs or the base, not
+        // in the open middle.
+        let u = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 3.0),
+            Point::new(2.0, 3.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ]);
+        let p = pole_of_inaccessibility(&u, 1e-6);
+        assert!(u.contains_point(p));
+        assert!(signed_distance(&u, p) > 0.45);
+    }
+
+    #[test]
+    fn signed_distance_signs() {
+        let sq = Polygon::rectangle(Rect::from_bounds(0.0, 0.0, 2.0, 2.0));
+        assert!(signed_distance(&sq, Point::new(1.0, 1.0)) > 0.0);
+        assert!(signed_distance(&sq, Point::new(3.0, 1.0)) < 0.0);
+        assert!(signed_distance(&sq, Point::new(2.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_rect_is_inside() {
+        let hex = Polygon::regular(6, Point::new(5.0, 5.0), 3.0);
+        let r = interior_rect(&hex).expect("hexagon has interior");
+        assert!(rect_inside_polygon(&hex, &r));
+        // The inscribed rect of a radius-3 hexagon is substantial.
+        assert!(r.area() > 6.0, "area {}", r.area());
+    }
+
+    #[test]
+    fn interior_rect_of_rectangle_nearly_fills() {
+        let rect = Rect::from_bounds(0.0, 0.0, 4.0, 2.0);
+        let poly = Polygon::rectangle(rect);
+        let r = interior_rect(&poly).unwrap();
+        assert!(r.area() > 0.9 * rect.area(), "area {}", r.area());
+        assert!(rect.contains_rect(&r));
+    }
+
+    #[test]
+    fn interior_rect_concave() {
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        let r = interior_rect(&l).unwrap();
+        assert!(rect_inside_polygon(&l, &r));
+    }
+}

@@ -1,0 +1,35 @@
+//! Planar geometry primitives for the GeoBlocks reproduction.
+//!
+//! The paper's data structure operates on geospatial points and arbitrary
+//! query polygons (§2). This crate provides everything the cell grid, the
+//! coverer, the baselines, and the generators need:
+//!
+//! * [`Point`] / [`Rect`] / [`Polygon`] value types (polygons are an exterior
+//!   ring plus optional holes, even-odd semantics),
+//! * robust-enough containment and intersection predicates over `f64`
+//!   coordinates ([`Polygon::contains_point`], [`classify_rect`]),
+//! * the **pole of inaccessibility** (polylabel) and the derived maximal
+//!   axis-aligned [`interior_rect`], which the paper uses to map polygonal
+//!   queries onto the rectangle-only PH-tree and aR-tree baselines (§4.1),
+//! * a convex-hull routine used by the synthetic polygon generators.
+//!
+//! Ambiguous floating-point cases in the rect-vs-polygon classification are
+//! resolved **conservatively towards "intersects"**: the coverer then keeps
+//! subdividing, which preserves the covering-is-a-superset invariant that the
+//! error bound of §3.2 rests on.
+
+pub mod hull;
+pub mod interior;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod rect;
+pub mod relate;
+
+pub use hull::convex_hull;
+pub use interior::{interior_rect, pole_of_inaccessibility};
+pub use point::Point;
+pub use polygon::Polygon;
+pub use predicates::{orient2d, segment_intersects_rect, segments_intersect, Orientation};
+pub use rect::Rect;
+pub use relate::{classify_rect, RectRelation};

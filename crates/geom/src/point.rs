@@ -1,0 +1,141 @@
+//! 2-D points.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or 2-vector) in the plane.
+///
+/// Coordinates are `f64` world coordinates; the grid in `gb-cell` maps them
+/// onto integer cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product (signed parallelogram area).
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt in comparisons).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Distance from this point to the segment `a`–`b`.
+    pub fn distance_to_segment(self, a: Point, b: Point) -> f64 {
+        let ab = b - a;
+        let len_sq = ab.dot(ab);
+        if len_sq == 0.0 {
+            return self.distance(a);
+        }
+        let t = ((self - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        let proj = a + ab * t;
+        self.distance(proj)
+    }
+
+    /// Both coordinates are finite (not NaN / ±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(b - a, Point::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn distance_to_segment_projects() {
+        let p = Point::new(0.0, 1.0);
+        // Perpendicular foot inside the segment.
+        assert!(
+            (p.distance_to_segment(Point::new(-1.0, 0.0), Point::new(1.0, 0.0)) - 1.0).abs()
+                < 1e-12
+        );
+        // Clamped to an endpoint.
+        let q = Point::new(5.0, 0.0);
+        assert!(
+            (q.distance_to_segment(Point::new(-1.0, 0.0), Point::new(1.0, 0.0)) - 4.0).abs()
+                < 1e-12
+        );
+        // Degenerate zero-length segment.
+        assert_eq!(
+            p.distance_to_segment(Point::new(0.0, 0.0), Point::new(0.0, 0.0)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,284 @@
+//! Low-level geometric predicates: orientation and segment intersection.
+//!
+//! These are plain `f64` predicates, not exact-arithmetic ones. The
+//! GeoBlocks pipeline tolerates this because every consumer resolves
+//! near-degenerate answers conservatively (see crate docs); we additionally
+//! use a small relative epsilon so that points *on* an edge are treated as
+//! touching rather than falling to either side unpredictably.
+
+use crate::point::Point;
+
+/// Orientation of the triple (a, b, c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn (positive signed area).
+    Ccw,
+    /// Clockwise turn (negative signed area).
+    Cw,
+    /// Collinear within tolerance.
+    Collinear,
+}
+
+/// Twice the signed area of triangle (a, b, c): `> 0` for CCW.
+#[inline]
+pub fn cross3(a: Point, b: Point, c: Point) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// Classify the orientation of (a, b, c) with a scale-relative tolerance.
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    let v = cross3(a, b, c);
+    // Tolerance proportional to the magnitude of the inputs involved, so the
+    // predicate behaves consistently across coordinate scales.
+    let scale = (b - a).dot(b - a).max((c - a).dot(c - a));
+    let eps = scale * 1e-12;
+    if v > eps {
+        Orientation::Ccw
+    } else if v < -eps {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// True if point `p` lies on the closed segment `a`–`b` (within tolerance).
+pub fn point_on_segment(p: Point, a: Point, b: Point) -> bool {
+    if orient2d(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    p.x >= a.x.min(b.x) - f64::EPSILON
+        && p.x <= a.x.max(b.x) + f64::EPSILON
+        && p.y >= a.y.min(b.y) - f64::EPSILON
+        && p.y <= a.y.max(b.y) + f64::EPSILON
+}
+
+/// True if closed segments `a`–`b` and `c`–`d` share at least one point.
+///
+/// Handles proper crossings, endpoint touches, and collinear overlap.
+pub fn segments_intersect(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let o1 = orient2d(a, b, c);
+    let o2 = orient2d(a, b, d);
+    let o3 = orient2d(c, d, a);
+    let o4 = orient2d(c, d, b);
+
+    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear {
+        return true;
+    }
+    // A proper crossing where one orientation pair straddles but the other
+    // contains a collinear endpoint still intersects; fall through to the
+    // on-segment checks which cover all touching/collinear cases.
+    (o1 == Orientation::Collinear && point_on_segment(c, a, b))
+        || (o2 == Orientation::Collinear && point_on_segment(d, a, b))
+        || (o3 == Orientation::Collinear && point_on_segment(a, c, d))
+        || (o4 == Orientation::Collinear && point_on_segment(b, c, d))
+        || (o1 != o2 && o3 != o4)
+}
+
+/// True if the closed segment `a`–`b` shares any point with the closed
+/// axis-aligned rectangle.
+///
+/// This is the hot predicate of the region coverer (called once per
+/// candidate cell × nearby polygon edge), so it avoids the generic
+/// orientation machinery and divisions entirely. Touching counts as
+/// intersecting (closed semantics), matching the covering superset
+/// requirement.
+#[inline]
+pub fn segment_intersects_rect(a: Point, b: Point, rect: &crate::rect::Rect) -> bool {
+    // Separating-axis test, division-free. Candidate axes for a segment vs
+    // an axis-aligned box: the box normals (x and y — equivalent to the
+    // segment's bounding box overlapping the rect) and the segment's own
+    // normal (all four rect corners strictly on one side ⇒ separated).
+    if a.x.min(b.x) > rect.max.x
+        || a.x.max(b.x) < rect.min.x
+        || a.y.min(b.y) > rect.max.y
+        || a.y.max(b.y) < rect.min.y
+    {
+        return false;
+    }
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    // cross((dx,dy), corner − a) for each corner; sign tells the side.
+    let c1 = dx * (rect.min.y - a.y) - dy * (rect.min.x - a.x);
+    let c2 = dx * (rect.min.y - a.y) - dy * (rect.max.x - a.x);
+    let c3 = dx * (rect.max.y - a.y) - dy * (rect.min.x - a.x);
+    let c4 = dx * (rect.max.y - a.y) - dy * (rect.max.x - a.x);
+    !((c1 > 0.0 && c2 > 0.0 && c3 > 0.0 && c4 > 0.0)
+        || (c1 < 0.0 && c2 < 0.0 && c3 < 0.0 && c4 < 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn segment_rect_basic() {
+        let r = Rect::from_bounds(0.0, 0.0, 2.0, 2.0);
+        // Crossing through.
+        assert!(segment_intersects_rect(p(-1.0, 1.0), p(3.0, 1.0), &r));
+        // Fully inside.
+        assert!(segment_intersects_rect(p(0.5, 0.5), p(1.5, 1.5), &r));
+        // One endpoint inside.
+        assert!(segment_intersects_rect(p(1.0, 1.0), p(5.0, 5.0), &r));
+        // Fully outside, no crossing.
+        assert!(!segment_intersects_rect(p(3.0, 3.0), p(5.0, 4.0), &r));
+        assert!(!segment_intersects_rect(p(-1.0, -1.0), p(-2.0, 3.0), &r));
+    }
+
+    #[test]
+    fn segment_rect_touching_counts() {
+        let r = Rect::from_bounds(0.0, 0.0, 2.0, 2.0);
+        // Touches a corner.
+        assert!(segment_intersects_rect(p(-1.0, -1.0), p(0.0, 0.0), &r));
+        // Runs along an edge.
+        assert!(segment_intersects_rect(p(0.0, -0.0), p(2.0, 0.0), &r));
+        // Grazes the right edge vertically.
+        assert!(segment_intersects_rect(p(2.0, -1.0), p(2.0, 3.0), &r));
+    }
+
+    #[test]
+    fn segment_rect_degenerate_point() {
+        let r = Rect::from_bounds(0.0, 0.0, 2.0, 2.0);
+        assert!(segment_intersects_rect(p(1.0, 1.0), p(1.0, 1.0), &r));
+        assert!(!segment_intersects_rect(p(3.0, 3.0), p(3.0, 3.0), &r));
+        assert!(segment_intersects_rect(p(2.0, 2.0), p(2.0, 2.0), &r)); // on corner
+    }
+
+    #[test]
+    fn segment_rect_diagonal_near_miss() {
+        let r = Rect::from_bounds(0.0, 0.0, 1.0, 1.0);
+        // x + y = 2.5 stays strictly outside the unit square.
+        assert!(!segment_intersects_rect(p(2.5, 0.0), p(0.0, 2.5), &r));
+        // x + y = 1.5 clips the top-right corner region.
+        assert!(segment_intersects_rect(p(1.5, 0.0), p(0.0, 1.5), &r));
+    }
+
+    #[test]
+    fn segment_rect_agrees_with_generic_predicate() {
+        // Randomized cross-check against the orientation-based test on the
+        // rect's four edges + containment.
+        let r = Rect::from_bounds(2.0, 3.0, 7.0, 6.0);
+        let mut state = 1u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 1200) as f64 / 100.0 - 1.0
+        };
+        for _ in 0..500 {
+            let a = p(next(), next());
+            let b = p(next(), next());
+            let generic = r.contains_point(a) || r.contains_point(b) || {
+                let c = r.corners();
+                (0..4).any(|i| segments_intersect(a, b, c[i], c[(i + 1) % 4]))
+            };
+            assert_eq!(
+                segment_intersects_rect(a, b, &r),
+                generic,
+                "disagreement for {a:?}-{b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn orientation_basic() {
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)),
+            Orientation::Ccw
+        );
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)),
+            Orientation::Cw
+        );
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_scale_invariant() {
+        // The same shape at a huge coordinate scale must classify identically.
+        let s = 1e9;
+        assert_eq!(
+            orient2d(p(0.0 * s, 0.0), p(1.0 * s, 0.0), p(0.0, 1.0 * s)),
+            Orientation::Ccw
+        );
+        assert_eq!(
+            orient2d(p(1e9, 1e9), p(2e9, 2e9), p(3e9, 3e9)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn proper_crossing() {
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(2.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(0.0, 1.0),
+            p(1.0, 1.0)
+        ));
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 1.0),
+            p(2.0, 0.0),
+            p(3.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn endpoint_touch_counts() {
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 1.0),
+            p(1.0, 1.0),
+            p(2.0, 0.0)
+        ));
+        // T-junction: endpoint of one lies in the interior of the other.
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn collinear_overlap_counts() {
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(1.0, 0.0),
+            p(3.0, 0.0)
+        ));
+        // Collinear but separated: no intersection.
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(3.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn point_on_segment_cases() {
+        assert!(point_on_segment(p(1.0, 1.0), p(0.0, 0.0), p(2.0, 2.0)));
+        assert!(point_on_segment(p(0.0, 0.0), p(0.0, 0.0), p(2.0, 2.0))); // endpoint
+        assert!(!point_on_segment(p(3.0, 3.0), p(0.0, 0.0), p(2.0, 2.0))); // beyond
+        assert!(!point_on_segment(p(1.0, 1.1), p(0.0, 0.0), p(2.0, 2.0))); // off-line
+    }
+}

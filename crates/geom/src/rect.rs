@@ -1,0 +1,253 @@
+//! Axis-aligned rectangles.
+
+use crate::point::Point;
+
+/// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+///
+/// Used for cell bounds, bounding boxes, MBRs in the aR-tree, and window
+/// queries in the PH-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Construct from min/max corners. Panics in debug builds if inverted.
+    #[inline]
+    pub fn new(min: Point, max: Point) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted rect");
+        Rect { min, max }
+    }
+
+    /// Construct from coordinate bounds.
+    #[inline]
+    pub fn from_bounds(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// The "empty" rectangle, an identity for [`Rect::union`].
+    pub fn empty() -> Self {
+        Rect {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// True if this is the empty rectangle (or otherwise inverted).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Smallest rectangle containing all `points`. Empty for no points.
+    pub fn bounding(points: &[Point]) -> Self {
+        points.iter().fold(Rect::empty(), |r, &p| r.expanded(p))
+    }
+
+    /// Width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area. Zero for empty rects.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half the perimeter (the R*-tree "margin" measure).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+
+    /// Diagonal length — the paper's spatial error bound √(ε₁² + ε₂²).
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        let w = self.width();
+        let h = self.height();
+        (w * w + h * h).sqrt()
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Closed containment test for a point.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Strict (open) containment test for a point.
+    #[inline]
+    pub fn contains_point_strict(&self, p: Point) -> bool {
+        p.x > self.min.x && p.x < self.max.x && p.y > self.min.y && p.y < self.max.y
+    }
+
+    /// True if `other` is fully inside `self` (closed semantics).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !other.is_empty()
+            && self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// True if the two closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Intersection of two rectangles (empty if disjoint).
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        }
+    }
+
+    /// Smallest rectangle containing both operands.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// `self` grown to include point `p`.
+    pub fn expanded(&self, p: Point) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// Rectangle scaled about its center by `s` (s < 1 shrinks).
+    pub fn scaled(&self, s: f64) -> Rect {
+        let c = self.center();
+        let hw = self.width() * 0.5 * s;
+        let hh = self.height() * 0.5 * s;
+        Rect::from_bounds(c.x - hw, c.y - hh, c.x + hw, c.y + hh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_bounds(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.intersects(&r(0.0, 0.0, 1.0, 1.0)));
+        let u = e.union(&r(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(u, r(0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        assert_eq!(Rect::bounding(&pts), r(-2.0, -1.0, 4.0, 5.0));
+        assert!(Rect::bounding(&[]).is_empty());
+    }
+
+    #[test]
+    fn measures() {
+        let a = r(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(a.width(), 3.0);
+        assert_eq!(a.height(), 4.0);
+        assert_eq!(a.area(), 12.0);
+        assert_eq!(a.margin(), 7.0);
+        assert_eq!(a.diagonal(), 5.0);
+        assert_eq!(a.center(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert!(a.contains_point(Point::new(0.0, 0.0))); // closed edge
+        assert!(!a.contains_point_strict(Point::new(0.0, 0.0)));
+        assert!(a.contains_rect(&r(1.0, 1.0, 9.0, 9.0)));
+        assert!(a.contains_rect(&a));
+        assert!(!a.contains_rect(&r(5.0, 5.0, 11.0, 11.0)));
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        let b = r(2.0, 2.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), r(2.0, 2.0, 4.0, 4.0));
+        assert_eq!(a.union(&b), r(0.0, 0.0, 6.0, 6.0));
+        let c = r(5.0, 5.0, 7.0, 7.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_empty());
+        // Touching edges count as intersecting (closed rects).
+        let d = r(4.0, 0.0, 8.0, 4.0);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let a = r(0.0, 0.0, 2.0, 1.0);
+        let c = a.corners();
+        assert_eq!(c[0], Point::new(0.0, 0.0));
+        assert_eq!(c[1], Point::new(2.0, 0.0));
+        assert_eq!(c[2], Point::new(2.0, 1.0));
+        assert_eq!(c[3], Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn scaling() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(a.scaled(0.5), r(1.0, 1.0, 3.0, 3.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Rectangle-vs-polygon classification — the predicate driving the coverer.
+//!
+//! Given a candidate grid cell (a rectangle) and the query polygon, the
+//! region coverer in `gb-cell` needs to know whether the cell is entirely
+//! outside the polygon, entirely inside it, or crosses the outline (§3.1,
+//! Figure 4). Boundary-crossing cells are what the error bound of §3.2
+//! charges for, so the classification must be *conservative*: whenever the
+//! floating-point predicates cannot prove containment or disjointness, we
+//! answer [`RectRelation::Boundary`], which only ever makes the covering a
+//! (still correct) superset.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+
+/// How a rectangle relates to a polygon region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RectRelation {
+    /// The rectangle and the polygon share no point.
+    Disjoint,
+    /// The rectangle lies entirely inside the polygon (no outline inside it).
+    Inside,
+    /// The rectangle crosses (or touches) the polygon outline.
+    Boundary,
+}
+
+/// Classify `rect` against `poly`.
+///
+/// The decision procedure:
+/// 1. Bounding boxes disjoint → [`RectRelation::Disjoint`].
+/// 2. Any polygon edge intersects any rectangle edge → [`RectRelation::Boundary`].
+/// 3. No edge crossings: the outline is either fully inside the rect, fully
+///    outside it, or absent. A polygon vertex strictly inside the rect means
+///    the outline dips into it → [`RectRelation::Boundary`].
+/// 4. Otherwise the rect is entirely on one side: test the center point.
+pub fn classify_rect(poly: &Polygon, rect: &Rect) -> RectRelation {
+    if rect.is_empty() || !poly.bbox().intersects(rect) {
+        return RectRelation::Disjoint;
+    }
+
+    let corners = rect.corners();
+    for i in 0..4 {
+        let (a, b) = (corners[i], corners[(i + 1) % 4]);
+        if poly.edge_intersects_segment(a, b) {
+            return RectRelation::Boundary;
+        }
+    }
+
+    // No edge of the outline crosses the rectangle border. If any ring
+    // vertex is strictly inside, some ring (exterior or hole) lives inside
+    // the rectangle, so the rect is not uniformly in or out.
+    if poly.vertices().any(|v| rect.contains_point_strict(v)) {
+        return RectRelation::Boundary;
+    }
+
+    if poly.contains_point(rect.center()) {
+        RectRelation::Inside
+    } else {
+        RectRelation::Disjoint
+    }
+}
+
+/// True if the whole rectangle lies inside the polygon.
+///
+/// Convenience wrapper used by the interior-rectangle search.
+pub fn rect_inside_polygon(poly: &Polygon, rect: &Rect) -> bool {
+    classify_rect(poly, rect) == RectRelation::Inside
+}
+
+/// True if the rectangle and polygon share at least one point.
+pub fn rect_intersects_polygon(poly: &Polygon, rect: &Rect) -> bool {
+    classify_rect(poly, rect) != RectRelation::Disjoint
+}
+
+/// Sample-based area fraction of `rect` covered by `poly` (an `n × n`
+/// midpoint grid). Used by tests and by the selectivity-polygon search.
+pub fn coverage_fraction(poly: &Polygon, rect: &Rect, n: usize) -> f64 {
+    assert!(n > 0);
+    let mut hit = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            let x = rect.min.x + rect.width() * (i as f64 + 0.5) / n as f64;
+            let y = rect.min.y + rect.height() * (j as f64 + 0.5) / n as f64;
+            if poly.contains_point(Point::new(x, y)) {
+                hit += 1;
+            }
+        }
+    }
+    hit as f64 / (n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_bounds(x0, y0, x1, y1)
+    }
+
+    fn diamond() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, -2.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(-2.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn disjoint_far_away() {
+        assert_eq!(
+            classify_rect(&diamond(), &square(5.0, 5.0, 6.0, 6.0)),
+            RectRelation::Disjoint
+        );
+    }
+
+    #[test]
+    fn disjoint_inside_bbox_but_outside_poly() {
+        // The diamond's bbox corner region is outside the diamond itself.
+        let r = square(1.5, 1.5, 1.9, 1.9);
+        assert_eq!(classify_rect(&diamond(), &r), RectRelation::Disjoint);
+    }
+
+    #[test]
+    fn inside_small_center_rect() {
+        assert_eq!(
+            classify_rect(&diamond(), &square(-0.5, -0.5, 0.5, 0.5)),
+            RectRelation::Inside
+        );
+    }
+
+    #[test]
+    fn boundary_crossing() {
+        assert_eq!(
+            classify_rect(&diamond(), &square(1.0, -0.5, 3.0, 0.5)),
+            RectRelation::Boundary
+        );
+    }
+
+    #[test]
+    fn polygon_inside_rect_is_boundary() {
+        // The rect swallows the whole polygon: its outline is inside.
+        assert_eq!(
+            classify_rect(&diamond(), &square(-5.0, -5.0, 5.0, 5.0)),
+            RectRelation::Boundary
+        );
+    }
+
+    #[test]
+    fn hole_inside_rect_is_boundary() {
+        let outer = square(0.0, 0.0, 10.0, 10.0).corners().to_vec();
+        let hole = square(4.0, 4.0, 6.0, 6.0).corners().to_vec();
+        let donut = Polygon::with_holes(outer, vec![hole]);
+        // Rect contains the hole completely: not uniformly inside.
+        assert_eq!(
+            classify_rect(&donut, &square(3.0, 3.0, 7.0, 7.0)),
+            RectRelation::Boundary
+        );
+        // Rect inside the ring part, away from the hole.
+        assert_eq!(
+            classify_rect(&donut, &square(1.0, 1.0, 2.0, 2.0)),
+            RectRelation::Inside
+        );
+        // Rect entirely within the hole: outside the region.
+        assert_eq!(
+            classify_rect(&donut, &square(4.5, 4.5, 5.5, 5.5)),
+            RectRelation::Disjoint
+        );
+    }
+
+    #[test]
+    fn touching_edge_is_boundary() {
+        // Shares exactly one edge segment with the diamond's right vertex.
+        let r = square(2.0, -1.0, 3.0, 1.0);
+        assert_eq!(classify_rect(&diamond(), &r), RectRelation::Boundary);
+    }
+
+    #[test]
+    fn helpers_agree() {
+        let d = diamond();
+        assert!(rect_inside_polygon(&d, &square(-0.1, -0.1, 0.1, 0.1)));
+        assert!(rect_intersects_polygon(&d, &square(1.0, -0.5, 3.0, 0.5)));
+        assert!(!rect_intersects_polygon(&d, &square(5.0, 5.0, 6.0, 6.0)));
+    }
+
+    #[test]
+    fn coverage_fraction_sane() {
+        let d = diamond();
+        // The diamond covers exactly half of its bounding box.
+        let f = coverage_fraction(&d, &d.bbox(), 64);
+        assert!((f - 0.5).abs() < 0.02, "got {f}");
+        assert_eq!(coverage_fraction(&d, &square(5.0, 5.0, 6.0, 6.0), 8), 0.0);
+        assert_eq!(coverage_fraction(&d, &square(-0.1, -0.1, 0.1, 0.1), 8), 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the geometry substrate.
+
+use gb_geom::{classify_rect, convex_hull, interior_rect, Point, Polygon, Rect, RectRelation};
+use proptest::prelude::*;
+
+/// Strategy: a random convex polygon (hull of sampled points).
+fn arb_convex_polygon() -> impl Strategy<Value = Polygon> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 6..20).prop_filter_map(
+        "degenerate hull",
+        |pts| {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let hull = convex_hull(&points);
+            (hull.len() >= 3).then(|| Polygon::new(hull))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hull_contains_inputs(pts in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 3..40)) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let hull = convex_hull(&points);
+        prop_assume!(hull.len() >= 3);
+        let poly = Polygon::new(hull);
+        for p in points {
+            prop_assert!(poly.contains_point(p), "{:?} escaped hull", p);
+        }
+    }
+
+    #[test]
+    fn bbox_contains_polygon_points(poly in arb_convex_polygon(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
+        // Any convex combination of two vertices stays in the bbox and the
+        // polygon (convexity).
+        let verts = poly.exterior();
+        let a = verts[0];
+        let b = verts[(t * (verts.len() - 1) as f64) as usize + 1 - 1];
+        let p = a + (b - a) * u;
+        prop_assert!(poly.bbox().contains_point(p));
+        prop_assert!(poly.contains_point(p), "convex combination {:?} outside", p);
+    }
+
+    #[test]
+    fn classification_consistent_with_sampling(poly in arb_convex_polygon(),
+                                               x0 in 0.0f64..90.0, y0 in 0.0f64..90.0,
+                                               w in 0.5f64..40.0, h in 0.5f64..40.0) {
+        let rect = Rect::from_bounds(x0, y0, x0 + w, y0 + h);
+        match classify_rect(&poly, &rect) {
+            RectRelation::Inside => {
+                // All sampled rect points are in the polygon.
+                for i in 0..5 {
+                    for j in 0..5 {
+                        let p = Point::new(
+                            rect.min.x + rect.width() * i as f64 / 4.0,
+                            rect.min.y + rect.height() * j as f64 / 4.0,
+                        );
+                        prop_assert!(poly.contains_point(p), "Inside rect leaks {:?}", p);
+                    }
+                }
+            }
+            RectRelation::Disjoint => {
+                for i in 0..5 {
+                    for j in 0..5 {
+                        let p = Point::new(
+                            rect.min.x + rect.width() * (i as f64 + 0.5) / 5.0,
+                            rect.min.y + rect.height() * (j as f64 + 0.5) / 5.0,
+                        );
+                        prop_assert!(!poly.contains_point(p), "Disjoint rect contains {:?}", p);
+                    }
+                }
+            }
+            RectRelation::Boundary => {} // nothing to check: conservative bucket
+        }
+    }
+
+    #[test]
+    fn interior_rect_inside(poly in arb_convex_polygon()) {
+        if let Some(r) = interior_rect(&poly) {
+            prop_assert_eq!(classify_rect(&poly, &r), RectRelation::Inside);
+            // All four corners strictly usable.
+            for c in r.corners() {
+                prop_assert!(poly.contains_point(c));
+            }
+        }
+    }
+
+    #[test]
+    fn area_positive_and_bbox_bounded(poly in arb_convex_polygon()) {
+        let a = poly.area();
+        prop_assert!(a > 0.0);
+        prop_assert!(a <= poly.bbox().area() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn centroid_inside_convex(poly in arb_convex_polygon()) {
+        prop_assert!(poly.contains_point(poly.centroid()));
+    }
+}

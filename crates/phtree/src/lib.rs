@@ -1,0 +1,424 @@
+//! A from-scratch 2-D PH-tree — the paper's "PHTree" baseline (§4.1).
+//!
+//! The PH-tree (Zäschke et al., SIGMOD 2014) is a space-efficient
+//! multidimensional index: a bit-level trie over the interleaved binary
+//! representation of the coordinates, where every node branches on one bit
+//! per dimension (2²  = 4 children in 2-D) and common prefixes are shared
+//! (PATRICIA-style path compression — the "prefix sharing" the paper credits
+//! for its space efficiency).
+//!
+//! As in the paper, coordinates are **quantised to integer space** before
+//! indexing ("our transformation of the coordinates to integer space, which
+//! is necessary for efficient queries") — the caller maps `f64` world
+//! coordinates to `u32` grid coordinates, which is what makes the PH-tree's
+//! rectangular window results *slightly* inexact in Figure 15.
+//!
+//! Supported operations: [`PhTree::insert`], exact [`PhTree::get`], and
+//! rectangular [`PhTree::for_each_in_window`] with subtree pruning.
+
+/// Child slot of a node: two bits, `(y_bit << 1) | x_bit` at the node's
+/// branching pair position.
+type Slot = usize;
+
+/// Reference to a child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Child {
+    #[default]
+    None,
+    Node(u32),
+    Entry(u32),
+}
+
+/// A stored key with its payload rows (duplicate locations share an entry).
+#[derive(Debug, Clone)]
+struct Entry {
+    x: u32,
+    y: u32,
+    rows: Vec<u32>,
+}
+
+/// An internal node branching on bit pair `pair_pos`.
+///
+/// `prefix_x`/`prefix_y` hold the key bits *above* `pair_pos` (lower bits
+/// zero); all keys below this node share them. Path compression means a
+/// child node's `pair_pos` can be much smaller than `pair_pos - 1`.
+#[derive(Debug, Clone)]
+struct Node {
+    pair_pos: u8,
+    prefix_x: u32,
+    prefix_y: u32,
+    children: [Child; 4],
+}
+
+/// Mask selecting the bits strictly above `pair_pos`.
+#[inline]
+fn above_mask(pair_pos: u8) -> u32 {
+    if pair_pos >= 31 {
+        0
+    } else {
+        !((1u32 << (pair_pos + 1)) - 1)
+    }
+}
+
+/// The child slot of `(x, y)` at `pair_pos`.
+#[inline]
+fn slot_of(x: u32, y: u32, pair_pos: u8) -> Slot {
+    (((x >> pair_pos) & 1) | (((y >> pair_pos) & 1) << 1)) as Slot
+}
+
+/// Highest bit position where the two keys differ in either dimension.
+#[inline]
+fn highest_diff_pair(x1: u32, y1: u32, x2: u32, y2: u32) -> Option<u8> {
+    let diff = (x1 ^ x2) | (y1 ^ y2);
+    if diff == 0 {
+        None
+    } else {
+        Some(31 - diff.leading_zeros() as u8)
+    }
+}
+
+/// A 2-D PH-tree mapping `(u32, u32)` points to `u32` row values.
+#[derive(Debug, Clone, Default)]
+pub struct PhTree {
+    nodes: Vec<Node>,
+    entries: Vec<Entry>,
+    root: Child,
+    len: usize,
+}
+
+impl PhTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        PhTree::default()
+    }
+
+    /// Number of inserted values (counting duplicates).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct stored keys.
+    pub fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate heap usage — Figure 11b's numerator for the PHTree.
+    pub fn memory_bytes(&self) -> usize {
+        // Node: pair_pos + 2 prefixes + 4 children ≈ 32 B payload.
+        let node_bytes = self.nodes.len() * std::mem::size_of::<Node>();
+        let entry_bytes: usize = self
+            .entries
+            .iter()
+            .map(|e| std::mem::size_of::<Entry>() + 4 * e.rows.len())
+            .sum();
+        node_bytes + entry_bytes
+    }
+
+    /// Insert a point with a row payload.
+    pub fn insert(&mut self, x: u32, y: u32, row: u32) {
+        self.len += 1;
+        self.root = self.insert_child(self.root, x, y, row);
+    }
+
+    fn new_entry(&mut self, x: u32, y: u32, row: u32) -> Child {
+        self.entries.push(Entry {
+            x,
+            y,
+            rows: vec![row],
+        });
+        Child::Entry((self.entries.len() - 1) as u32)
+    }
+
+    /// Insert below `child`, returning the (possibly new) child reference.
+    fn insert_child(&mut self, child: Child, x: u32, y: u32, row: u32) -> Child {
+        match child {
+            Child::None => self.new_entry(x, y, row),
+            Child::Entry(ei) => {
+                let e = &self.entries[ei as usize];
+                match highest_diff_pair(x, y, e.x, e.y) {
+                    None => {
+                        // Same location: append the row.
+                        self.entries[ei as usize].rows.push(row);
+                        Child::Entry(ei)
+                    }
+                    Some(p) => {
+                        let (ex, ey) = (e.x, e.y);
+                        let mask = above_mask(p);
+                        let mut node = Node {
+                            pair_pos: p,
+                            prefix_x: x & mask,
+                            prefix_y: y & mask,
+                            children: [Child::None; 4],
+                        };
+                        node.children[slot_of(ex, ey, p)] = Child::Entry(ei);
+                        let new = self.new_entry(x, y, row);
+                        node.children[slot_of(x, y, p)] = new;
+                        self.nodes.push(node);
+                        Child::Node((self.nodes.len() - 1) as u32)
+                    }
+                }
+            }
+            Child::Node(ni) => {
+                let (pair_pos, prefix_x, prefix_y) = {
+                    let n = &self.nodes[ni as usize];
+                    (n.pair_pos, n.prefix_x, n.prefix_y)
+                };
+                let mask = above_mask(pair_pos);
+                if (x & mask) != prefix_x || (y & mask) != prefix_y {
+                    // Prefix mismatch: branch above this node.
+                    let p = highest_diff_pair(x & mask, y & mask, prefix_x, prefix_y)
+                        .expect("mismatch implies a differing bit");
+                    debug_assert!(p > pair_pos);
+                    let new_mask = above_mask(p);
+                    let mut node = Node {
+                        pair_pos: p,
+                        prefix_x: x & new_mask,
+                        prefix_y: y & new_mask,
+                        children: [Child::None; 4],
+                    };
+                    node.children[slot_of(prefix_x, prefix_y, p)] = Child::Node(ni);
+                    let new = self.new_entry(x, y, row);
+                    node.children[slot_of(x, y, p)] = new;
+                    self.nodes.push(node);
+                    Child::Node((self.nodes.len() - 1) as u32)
+                } else {
+                    let s = slot_of(x, y, pair_pos);
+                    let sub = self.nodes[ni as usize].children[s];
+                    let updated = self.insert_child(sub, x, y, row);
+                    self.nodes[ni as usize].children[s] = updated;
+                    Child::Node(ni)
+                }
+            }
+        }
+    }
+
+    /// Rows stored at exactly `(x, y)`, if any.
+    pub fn get(&self, x: u32, y: u32) -> Option<&[u32]> {
+        let mut child = self.root;
+        loop {
+            match child {
+                Child::None => return None,
+                Child::Entry(ei) => {
+                    let e = &self.entries[ei as usize];
+                    return (e.x == x && e.y == y).then_some(e.rows.as_slice());
+                }
+                Child::Node(ni) => {
+                    let n = &self.nodes[ni as usize];
+                    let mask = above_mask(n.pair_pos);
+                    if (x & mask) != n.prefix_x || (y & mask) != n.prefix_y {
+                        return None;
+                    }
+                    child = n.children[slot_of(x, y, n.pair_pos)];
+                }
+            }
+        }
+    }
+
+    /// Invoke `f(row)` for every value whose key lies in the closed window
+    /// `[x0, x1] × [y0, y1]`, pruning subtrees by their prefix region.
+    pub fn for_each_in_window(&self, x0: u32, x1: u32, y0: u32, y1: u32, mut f: impl FnMut(u32)) {
+        assert!(x0 <= x1 && y0 <= y1, "inverted window");
+        self.walk(self.root, x0, x1, y0, y1, &mut f);
+    }
+
+    fn walk(&self, child: Child, x0: u32, x1: u32, y0: u32, y1: u32, f: &mut impl FnMut(u32)) {
+        match child {
+            Child::None => {}
+            Child::Entry(ei) => {
+                let e = &self.entries[ei as usize];
+                if e.x >= x0 && e.x <= x1 && e.y >= y0 && e.y <= y1 {
+                    for &r in &e.rows {
+                        f(r);
+                    }
+                }
+            }
+            Child::Node(ni) => {
+                let n = &self.nodes[ni as usize];
+                let low = if n.pair_pos >= 31 {
+                    u32::MAX
+                } else {
+                    (1u32 << (n.pair_pos + 1)) - 1
+                };
+                // Region of the whole node.
+                if n.prefix_x > x1
+                    || n.prefix_x | low < x0
+                    || n.prefix_y > y1
+                    || n.prefix_y | low < y0
+                {
+                    return;
+                }
+                let half = low >> 1; // bits strictly below pair_pos
+                for (s, &c) in n.children.iter().enumerate() {
+                    if matches!(c, Child::None) {
+                        continue;
+                    }
+                    let cx = n.prefix_x | (((s as u32) & 1) << n.pair_pos);
+                    let cy = n.prefix_y | ((((s as u32) >> 1) & 1) << n.pair_pos);
+                    if cx > x1 || cx | half < x0 || cy > y1 || cy | half < y0 {
+                        continue;
+                    }
+                    self.walk(c, x0, x1, y0, y1, f);
+                }
+            }
+        }
+    }
+
+    /// Count values in the window (convenience over the callback form).
+    pub fn count_in_window(&self, x0: u32, x1: u32, y0: u32, y1: u32) -> usize {
+        let mut n = 0;
+        self.for_each_in_window(x0, x1, y0, y1, |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(points: &[(u32, u32)], x0: u32, x1: u32, y0: u32, y1: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| x >= x0 && x <= x1 && y >= y0 && y <= y1)
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn build(points: &[(u32, u32)]) -> PhTree {
+        let mut t = PhTree::new();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            t.insert(x, y, i as u32);
+        }
+        t
+    }
+
+    fn window(t: &PhTree, x0: u32, x1: u32, y0: u32, y1: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        t.for_each_in_window(x0, x1, y0, y1, |r| out.push(r));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = PhTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.count_in_window(0, u32::MAX, 0, u32::MAX), 0);
+        assert!(t.get(1, 2).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = build(&[(100, 200)]);
+        assert_eq!(t.get(100, 200), Some(&[0u32][..]));
+        assert!(t.get(100, 201).is_none());
+        assert_eq!(window(&t, 0, 1000, 0, 1000), vec![0]);
+        assert_eq!(window(&t, 101, 1000, 0, 1000), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn duplicate_locations_share_an_entry() {
+        let t = build(&[(5, 5), (5, 5), (5, 5)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_keys(), 1);
+        assert_eq!(t.get(5, 5).unwrap().len(), 3);
+        assert_eq!(window(&t, 5, 5, 5, 5).len(), 3);
+    }
+
+    #[test]
+    fn window_queries_match_brute_force_grid() {
+        let pts: Vec<(u32, u32)> = (0..20u32)
+            .flat_map(|x| (0..20u32).map(move |y| (x * 13, y * 7)))
+            .collect();
+        let t = build(&pts);
+        for &(x0, x1, y0, y1) in &[
+            (0, 50, 0, 50),
+            (13, 13, 0, 200),
+            (100, 250, 30, 70),
+            (0, u32::MAX, 0, u32::MAX),
+            (251, 260, 0, 10),
+        ] {
+            assert_eq!(
+                window(&t, x0, x1, y0, y1),
+                brute(&pts, x0, x1, y0, y1),
+                "window ({x0},{x1},{y0},{y1})"
+            );
+        }
+    }
+
+    #[test]
+    fn window_queries_match_brute_force_random() {
+        // Deterministic LCG points across the full u32 range.
+        let mut state = 99u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 16) as u32
+        };
+        let pts: Vec<(u32, u32)> = (0..3000).map(|_| (next(), next())).collect();
+        let t = build(&pts);
+        assert_eq!(t.len(), 3000);
+        for _ in 0..50 {
+            let a = next();
+            let b = next();
+            let c = next();
+            let d = next();
+            let (x0, x1) = (a.min(b), a.max(b));
+            let (y0, y1) = (c.min(d), c.max(d));
+            assert_eq!(window(&t, x0, x1, y0, y1), brute(&pts, x0, x1, y0, y1));
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_compresses_clusters() {
+        // 1000 points in a tight cluster: path compression keeps the node
+        // count close to the entry count (no 32-level chains).
+        let pts: Vec<(u32, u32)> = (0..1000u32)
+            .map(|i| ((1 << 30) | (i % 100), (1 << 30) | (i / 100)))
+            .collect();
+        let t = build(&pts);
+        assert!(
+            t.nodes.len() < 2 * t.entries.len(),
+            "nodes {} entries {}",
+            t.nodes.len(),
+            t.entries.len()
+        );
+    }
+
+    #[test]
+    fn extreme_coordinates() {
+        let pts = [
+            (0u32, 0u32),
+            (u32::MAX, u32::MAX),
+            (0, u32::MAX),
+            (u32::MAX, 0),
+        ];
+        let t = build(&pts);
+        assert_eq!(window(&t, 0, u32::MAX, 0, u32::MAX).len(), 4);
+        assert_eq!(window(&t, 0, 0, 0, 0), vec![0]);
+        assert_eq!(window(&t, u32::MAX, u32::MAX, u32::MAX, u32::MAX), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted window")]
+    fn rejects_inverted_window() {
+        build(&[(1, 1)]).for_each_in_window(5, 4, 0, 1, |_| {});
+    }
+
+    #[test]
+    fn memory_grows_with_content() {
+        let small = build(&(0..100u32).map(|i| (i, i)).collect::<Vec<_>>());
+        let large = build(&(0..10_000u32).map(|i| (i * 17, i * 31)).collect::<Vec<_>>());
+        assert!(large.memory_bytes() > small.memory_bytes() * 20);
+    }
+}

@@ -1,0 +1,87 @@
+//! Model-based property tests: PH-tree window queries must match brute
+//! force over arbitrary point sets and windows, across coordinate scales.
+
+use gb_phtree::PhTree;
+use proptest::prelude::*;
+
+fn brute(points: &[(u32, u32)], x0: u32, x1: u32, y0: u32, y1: u32) -> Vec<u32> {
+    let mut out: Vec<u32> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, &(x, y))| x >= x0 && x <= x1 && y >= y0 && y <= y1)
+        .map(|(i, _)| i as u32)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn tree_window(t: &PhTree, x0: u32, x1: u32, y0: u32, y1: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    t.for_each_in_window(x0, x1, y0, y1, |r| out.push(r));
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn window_queries_match_brute_force(
+        points in prop::collection::vec((any::<u32>(), any::<u32>()), 0..400),
+        windows in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()), 1..6),
+    ) {
+        let mut t = PhTree::new();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            t.insert(x, y, i as u32);
+        }
+        prop_assert_eq!(t.len(), points.len());
+        for &(a, b, c, d) in &windows {
+            let (x0, x1) = (a.min(b), a.max(b));
+            let (y0, y1) = (c.min(d), c.max(d));
+            prop_assert_eq!(
+                tree_window(&t, x0, x1, y0, y1),
+                brute(&points, x0, x1, y0, y1),
+                "window ({}, {}, {}, {})", x0, x1, y0, y1
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_points_with_tiny_windows(
+        base_x in 0u32..(u32::MAX - 2000),
+        base_y in 0u32..(u32::MAX - 2000),
+        offsets in prop::collection::vec((0u32..1000, 0u32..1000), 1..200),
+        window in (0u32..1200, 0u32..1200, 0u32..1200, 0u32..1200),
+    ) {
+        // Clustered keys exercise deep prefix sharing.
+        let points: Vec<(u32, u32)> = offsets.iter().map(|&(dx, dy)| (base_x + dx, base_y + dy)).collect();
+        let mut t = PhTree::new();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            t.insert(x, y, i as u32);
+        }
+        let (a, b, c, d) = window;
+        let (x0, x1) = (base_x + a.min(b), base_x + a.max(b));
+        let (y0, y1) = (base_y + c.min(d), base_y + c.max(d));
+        prop_assert_eq!(tree_window(&t, x0, x1, y0, y1), brute(&points, x0, x1, y0, y1));
+    }
+
+    #[test]
+    fn exact_get_matches_multiset(
+        points in prop::collection::vec((0u32..50, 0u32..50), 0..300),
+        probe in (0u32..60, 0u32..60),
+    ) {
+        // Narrow key space forces many duplicate locations.
+        let mut t = PhTree::new();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            t.insert(x, y, i as u32);
+        }
+        let want: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == probe)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let got: Vec<u32> = t.get(probe.0, probe.1).map(|s| s.to_vec()).unwrap_or_default();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,78 @@
+//! Choosing a block level: the error / runtime / memory trade-off (§3.2,
+//! Figure 16 and Figure 11c).
+//!
+//! The block level is the user's error knob: each level halves the cell
+//! diagonal (the maximum spatial error) and quadruples the potential cell
+//! count. This example sweeps levels, measures the real relative error of
+//! COUNT queries against exact ground truth, and verifies that the actual
+//! error never exceeds the §3.2 guarantee.
+//!
+//! ```text
+//! cargo run --release --example accuracy_tuning
+//! ```
+
+use gb_baselines::{relative_error, GroundTruth};
+use gb_common::Timer;
+use gb_data::{datasets, extract, polygons, Filter, Rows};
+use geoblocks::build;
+
+fn main() {
+    let ds = datasets::nyc_taxi(400_000, 5);
+    let base = extract(&ds.raw, ds.grid, &datasets::nyc_cleaning_rules(), None).base;
+    let polys = polygons::neighborhoods(60, 5);
+    let gt = GroundTruth::new(&base);
+    let exact: Vec<u64> = polys.iter().map(|p| gt.exact_count(p)).collect();
+
+    println!("level | cell diag (m) | cells    | memory     | avg error | mean µs/query");
+    for level in 6..=14u8 {
+        let (block, _) = build(&base, level, &Filter::all());
+
+        let t = Timer::start();
+        let mut errs = Vec::new();
+        for (poly, &truth) in polys.iter().zip(&exact) {
+            let (cnt, _) = block.count(poly);
+            if truth > 0 {
+                errs.push(relative_error(cnt, truth));
+            }
+        }
+        let mean_us = t.elapsed_us() / polys.len() as f64;
+        let avg_err = errs.iter().sum::<f64>() / errs.len() as f64;
+
+        println!(
+            "  {:2}  | {:12.1} | {:8} | {:>10} | {:8.2}% | {:10.1}",
+            level,
+            block.error_bound() * 1000.0,
+            block.num_cells(),
+            gb_common::fmt::bytes(block.memory_bytes()),
+            avg_err * 100.0,
+            mean_us,
+        );
+    }
+
+    // The guarantee: every point the covering adds lies within one cell
+    // diagonal of the polygon outline. Verify against a generous sample.
+    let level = 10;
+    let (block, _) = build(&base, level, &Filter::all());
+    let bound = block.error_bound();
+    let mut checked = 0usize;
+    for poly in polys.iter().take(10) {
+        let covering = block.cover(poly);
+        for row in 0..base.num_rows() {
+            let p = base.location(row);
+            let leaf = base.grid().leaf_for_point(p);
+            if covering.contains(leaf) && !poly.contains_point(p) {
+                // A false positive: must be within the error bound.
+                let d = -gb_geom::interior::signed_distance(poly, p);
+                assert!(
+                    d <= bound * 1.001,
+                    "point {p:?} violates the bound: {d} > {bound}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    println!(
+        "\nverified the §3.2 bound on {checked} false-positive points: all within {:.0} m of the outline",
+        bound * 1000.0
+    );
+}

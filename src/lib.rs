@@ -1,0 +1,22 @@
+//! Umbrella crate for the GeoBlocks (EDBT 2021) reproduction.
+//!
+//! Re-exports every workspace crate under one name so the runnable
+//! `examples/` and the cross-crate `tests/` have a single dependency
+//! surface. See `README.md`, `DESIGN.md`, and `EXPERIMENTS.md` at the
+//! repository root; library documentation lives in the individual crates:
+//!
+//! * [`geoblocks`] — the core data structure (blocks, trie cache, queries),
+//! * [`gb_cell`] / [`gb_geom`] — spatial substrates,
+//! * [`gb_data`] — columnar tables, extract phase, synthetic datasets,
+//! * [`gb_btree`] / [`gb_phtree`] / [`gb_artree`] — baseline substrates,
+//! * [`gb_baselines`] — the unified evaluation interface.
+
+pub use gb_artree;
+pub use gb_baselines;
+pub use gb_btree;
+pub use gb_cell;
+pub use gb_common;
+pub use gb_data;
+pub use gb_geom;
+pub use gb_phtree;
+pub use geoblocks;
