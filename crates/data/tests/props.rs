@@ -14,7 +14,10 @@ use proptest::prelude::*;
 const DOMAIN: f64 = 50.0;
 
 fn make_raw(rows: &[(f64, f64, f64)]) -> RawTable {
-    let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v"), ColumnDef::i64("tag")]));
+    let mut raw = RawTable::new(Schema::new(vec![
+        ColumnDef::f64("v"),
+        ColumnDef::i64("tag"),
+    ]));
     for (i, &(x, y, v)) in rows.iter().enumerate() {
         raw.push_row(Point::new(x, y), &[v, i as f64]);
     }

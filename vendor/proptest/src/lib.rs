@@ -1,0 +1,168 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest its property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, multiple
+//!   `#[test] fn name(pat in strategy, ..) { .. }` items, and `mut` binders;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`];
+//! * range strategies (`0u32..100`, `0u8..=MAX`, `0.0f64..1.0`), [`Just`],
+//!   tuples, `prop::collection::vec`, [`any`], and the `prop_map` /
+//!   `prop_filter` / `prop_filter_map` / `prop_flat_map` combinators.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (plus the seed of the run) instead of a minimized counterexample.
+//! * **Deterministic by default.** Each test derives its RNG seed from its
+//!   own name, so runs are reproducible; set `PROPTEST_SEED` to explore
+//!   other streams.
+//! * `PROPTEST_CASES` acts as a **cap** on per-test case counts (the real
+//!   crate treats it as a default). This is what lets CI bound the runtime
+//!   of `cargo test` regardless of per-test `ProptestConfig` values.
+//!
+//! [`Just`]: strategy::Just
+//! [`any`]: arbitrary::any
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`: fail the
+/// current case (without aborting the whole test process mid-panic-unwind
+/// bookkeeping) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __left,
+            __right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __left
+        );
+    }};
+}
+
+/// Discard the current case (it does not count towards the case budget)
+/// when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::string::String::from(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The test-defining macro. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                    let mut __desc = ::std::string::String::new();
+                    let __vals = ($(
+                        {
+                            let __v = match $crate::strategy::Strategy::gen_value(
+                                &($strat),
+                                __rng,
+                            ) {
+                                ::core::option::Option::Some(v) => v,
+                                ::core::option::Option::None => {
+                                    return ::core::option::Option::None
+                                }
+                            };
+                            __desc.push_str(stringify!($argpat));
+                            __desc.push_str(" = ");
+                            __desc.push_str(&::std::format!("{:?}\n", __v));
+                            __v
+                        }
+                    ),+ ,);
+                    let __result: $crate::test_runner::TestCaseResult = (move || {
+                        #[allow(unused_mut)]
+                        let ($($argpat,)+) = __vals;
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    ::core::option::Option::Some((__result, __desc))
+                });
+            }
+        )*
+    };
+}

@@ -1,0 +1,116 @@
+//! The per-test case loop: generate → run → classify.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-`proptest!`-block configuration.
+///
+/// Only the fields this workspace touches are modelled. `PROPTEST_CASES`
+/// (environment) *caps* `cases`; `PROPTEST_SEED` overrides the per-test
+/// derived seed.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Successful (non-rejected) cases required for the test to pass.
+    pub cases: u32,
+    /// Abort after this many rejected cases across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+
+    /// `cases`, capped by the `PROPTEST_CASES` environment variable.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Precondition failed (`prop_assume!`): does not count as a pass.
+    Reject(String),
+    /// Assertion failed: the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drive one property test: `case` generates inputs and runs the body,
+/// returning `None` when generation itself was rejected (e.g. a filter
+/// exhausted its retries).
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Option<(TestCaseResult, String)>,
+{
+    let cases = config.effective_cases();
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+    let mut rng = TestRng::seed_from_u64(seed);
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < cases {
+        match case(&mut rng) {
+            Some((Ok(()), _)) => passed += 1,
+            None | Some((Err(TestCaseError::Reject(_)), _)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{name}': too many rejected cases \
+                     ({rejected} rejects, {passed}/{cases} passed)"
+                );
+            }
+            Some((Err(TestCaseError::Fail(msg)), desc)) => {
+                panic!(
+                    "proptest '{name}' failed at case {passed} (seed {seed}):\n\
+                     {msg}\nminimal failing input was not shrunk; inputs:\n{desc}"
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
