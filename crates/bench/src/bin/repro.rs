@@ -1,24 +1,31 @@
 //! The reproduction driver: regenerates every table and figure of the
-//! paper's evaluation section.
+//! paper's evaluation section, plus the `scale-threads` hardware-scaling
+//! sweep that feeds the CI perf gate.
 //!
 //! ```text
 //! repro <experiment|all> [--scale F] [--seed N] [--write PATH]
+//!                        [--threads LIST] [--json PATH]
 //!
 //!   experiments: fig10 fig11a fig11b fig11c table2 fig12 fig13 fig14
-//!                fig15 fig16 fig17 fig18 fig19 all
-//!   --scale F    multiply dataset sizes (default 1.0; 30 ≈ paper scale)
-//!   --seed N     master RNG seed (default 42)
-//!   --write PATH also append the markdown reports to PATH
+//!                fig15 fig16 fig17 fig18 fig19 scale-threads all
+//!   --scale F      multiply dataset sizes (default 1.0; 30 ≈ paper scale)
+//!   --seed N       master RNG seed (default 42)
+//!   --write PATH   also append the markdown reports to PATH
+//!   --threads LIST comma-separated thread counts for scale-threads
+//!                  (default "1,2,4,8")
+//!   --json PATH    write machine-readable BenchRecords (JSON lines) —
+//!                  only scale-threads produces them
 //! ```
 
 use gb_bench::experiments;
+use gb_bench::json::BenchRecord;
 use gb_bench::report::Report;
 use gb_bench::Ctx;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|all> \
-         [--scale F] [--seed N] [--write PATH]"
+        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|scale-threads|all> \
+         [--scale F] [--seed N] [--write PATH] [--threads LIST] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -31,6 +38,8 @@ fn main() {
     let exp = args[0].clone();
     let mut ctx = Ctx::default();
     let mut write_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
 
     let mut i = 1;
     while i < args.len() {
@@ -53,6 +62,25 @@ fn main() {
                 i += 1;
                 write_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .map(|s| {
+                        s.split(',')
+                            .map(|x| x.trim().parse::<usize>().unwrap_or_else(|_| usage()))
+                            .filter(|&t| t > 0)
+                            .collect()
+                    })
+                    .unwrap_or_else(|| usage());
+                if threads.is_empty() {
+                    usage();
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -60,6 +88,7 @@ fn main() {
 
     eprintln!("# repro: {exp} (scale {}, seed {})", ctx.scale, ctx.seed);
     let t = gb_common::Timer::start();
+    let mut bench_records: Vec<BenchRecord> = Vec::new();
     let reports: Vec<Report> = match exp.as_str() {
         "fig10" => vec![experiments::fig10(&ctx)],
         "fig11a" => vec![experiments::fig11a(&ctx)],
@@ -73,6 +102,11 @@ fn main() {
         "fig17" => vec![experiments::fig17(&ctx)],
         "fig18" => vec![experiments::fig18(&ctx)],
         "fig19" => vec![experiments::fig19(&ctx)],
+        "scale-threads" => {
+            let (rep, recs) = experiments::scale_threads(&ctx, &threads);
+            bench_records = recs;
+            vec![rep]
+        }
         "all" => experiments::all(&ctx),
         _ => usage(),
     };
@@ -93,5 +127,11 @@ fn main() {
             writeln!(f, "{}", r.to_markdown()).expect("write report");
         }
         eprintln!("# appended {} report(s) to {path}", reports.len());
+    }
+
+    if let Some(path) = json_path {
+        gb_bench::json::write_jsonl(std::path::Path::new(&path), &bench_records, false)
+            .expect("write bench json");
+        eprintln!("# wrote {} bench record(s) to {path}", bench_records.len());
     }
 }

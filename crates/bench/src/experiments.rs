@@ -7,6 +7,7 @@
 //! data scale); the *shape* — who wins, by what order of magnitude, where
 //! crossovers happen — is what `EXPERIMENTS.md` compares.
 
+use crate::json::BenchRecord;
 use crate::report::Report;
 use crate::{ms, paper_level, run_select_workload, us, Ctx, RunSummary};
 use gb_baselines::{
@@ -837,6 +838,144 @@ pub fn fig19(ctx: &Ctx) -> Report {
         }
     }
     rep
+}
+
+/// `scale-threads`: thread scalability of the parallel build and the
+/// concurrent query engine — not a paper figure, but the hardware-scaling
+/// counterpart to its throughput claims. For each thread count the sweep
+/// measures (a) `build_parallel` wall time, asserting the resulting block
+/// is bit-identical to the serial build, and (b) sustained SELECT
+/// throughput with every thread running the full neighborhood workload
+/// against one shared [`geoblocks::GeoBlockEngine`].
+///
+/// Returns the human report plus machine-readable [`BenchRecord`]s (all
+/// lower-is-better ns values) for `BENCH_ci.json` / `bench_diff`.
+pub fn scale_threads(ctx: &Ctx, thread_counts: &[usize]) -> (Report, Vec<BenchRecord>) {
+    use gb_common::Pool;
+    use geoblocks::{build_parallel, GeoBlockEngine};
+
+    let mut rep = Report::new(
+        "scale-threads",
+        "Parallel build & concurrent query throughput vs thread count",
+        "Not in the paper: demonstrates that the reproduction parallelizes — build time drops and query throughput rises with threads (on multi-core hardware), with bit-identical results.",
+    );
+    rep.headers(&[
+        "threads",
+        "build ms (median)",
+        "build speedup",
+        "bit-identical",
+        "select ns/query",
+        "queries/s",
+        "throughput scaling",
+    ]);
+    let mut records = Vec::new();
+
+    const BUILD_REPS: usize = 3;
+    const QUERY_REPS: usize = 2;
+
+    let level = paper_level(17);
+    let base = ctx.taxi_base(None);
+    let (serial_block, _) = build(&base, level, &Filter::all());
+    let serial_hash = serial_block.content_hash();
+    let polys = polygons::neighborhoods(N_NEIGHBORHOODS, ctx.seed);
+    let spec = AggSpec::k_aggregates(base.schema(), 7);
+    let workload = Workload::base(&polys, &spec);
+
+    // Shared engine for the query sweep: warm the cache once so every
+    // thread count faces the same (realistic) cache state.
+    let engine = GeoBlockEngine::new(serial_block.clone(), 0.05);
+    for q in &workload.queries {
+        engine.select(&q.polygon, &q.spec);
+    }
+    engine.rebuild_cache();
+
+    let median_of = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs[xs.len() / 2]
+    };
+
+    // Sweep in ascending order with duplicates removed: the speedup and
+    // scaling columns are relative to the first (smallest) thread count,
+    // so an unsorted `--threads 8,4,2` must not invert their meaning.
+    let mut thread_counts: Vec<usize> = thread_counts.iter().copied().filter(|&t| t > 0).collect();
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut build_t1_ns = f64::NAN;
+    let mut select_t1_ns = f64::NAN;
+    for &t in &thread_counts {
+        // (a) Build: median of BUILD_REPS timed parallel builds.
+        let mut build_ns = Vec::with_capacity(BUILD_REPS);
+        let mut identical = true;
+        for _ in 0..BUILD_REPS {
+            let timer = gb_common::Timer::start();
+            let (block, _) = build_parallel(&base, level, &Filter::all(), t);
+            build_ns.push(timer.elapsed().as_nanos() as f64);
+            identical &= block.content_hash() == serial_hash;
+        }
+        let build_med = median_of(build_ns.clone());
+        let build_mean = build_ns.iter().sum::<f64>() / build_ns.len() as f64;
+        if build_t1_ns.is_nan() {
+            build_t1_ns = build_med;
+        }
+        records.push(BenchRecord::new(
+            format!("scale-threads/build/t{t}"),
+            build_mean,
+            build_med,
+            BUILD_REPS as u64,
+        ));
+
+        // (b) Queries: every worker runs the whole workload concurrently
+        // against the shared engine; wall time over total queries gives
+        // sustained ns/query (inverse throughput).
+        let pool = Pool::new(t);
+        let mut per_query_ns = Vec::with_capacity(QUERY_REPS);
+        for _ in 0..QUERY_REPS {
+            let timer = gb_common::Timer::start();
+            pool.run(t, |_| {
+                for q in &workload.queries {
+                    std::hint::black_box(engine.select(&q.polygon, &q.spec));
+                }
+            });
+            let total_queries = (t * workload.len()) as f64;
+            per_query_ns.push(timer.elapsed().as_nanos() as f64 / total_queries);
+        }
+        let sel_med = median_of(per_query_ns.clone());
+        let sel_mean = per_query_ns.iter().sum::<f64>() / per_query_ns.len() as f64;
+        if select_t1_ns.is_nan() {
+            select_t1_ns = sel_med;
+        }
+        records.push(BenchRecord::new(
+            format!("scale-threads/select/t{t}"),
+            sel_mean,
+            sel_med,
+            (QUERY_REPS * t * workload.len()) as u64,
+        ));
+
+        rep.row(vec![
+            t.to_string(),
+            format!("{:.2}", build_med / 1e6),
+            gb_common::fmt::speedup(build_t1_ns / build_med),
+            if identical { "yes".into() } else { "NO".into() },
+            format!("{sel_med:.0}"),
+            format!("{:.0}", 1e9 / sel_med),
+            gb_common::fmt::speedup(select_t1_ns / sel_med),
+        ]);
+        assert!(
+            identical,
+            "parallel build at {t} threads diverged from the serial block"
+        );
+    }
+    rep.note(format!(
+        "Host reports {} hardware thread(s); speedups flatten at that point.",
+        gb_common::default_threads()
+    ));
+    rep.note("All rows answer the identical workload; 'bit-identical' compares the parallel block's content hash against the serial build.");
+    rep.note(format!(
+        "Speedup/scaling columns are relative to the t={} row (the smallest requested thread count).",
+        thread_counts.first().copied().unwrap_or(1)
+    ));
+    (rep, records)
 }
 
 /// Run every experiment in paper order.

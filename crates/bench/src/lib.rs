@@ -16,6 +16,7 @@
 //! print both.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 
 use gb_baselines::SpatialAggIndex;

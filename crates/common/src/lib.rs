@@ -13,11 +13,15 @@
 //!   harness (Criterion is used for micro-benches; the harness needs plain
 //!   phase timing to reproduce the paper's build-time tables).
 //! * [`fmt`] — human-readable byte/duration formatting for reports.
+//! * [`pool`] — a std-only scoped thread pool (`par_map`/`par_chunks`)
+//!   used by the parallel build and the concurrent query benchmarks.
 
 pub mod fmt;
 pub mod fxhash;
+pub mod pool;
 pub mod rng;
 pub mod timer;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pool::{default_threads, Pool};
 pub use timer::Timer;

@@ -1,0 +1,214 @@
+//! A minimal scoped thread pool for data-parallel fan-out.
+//!
+//! The build environment has no crates.io access, so instead of `rayon`
+//! this module provides the small std-only subset the workspace needs:
+//! fork-join over an indexed task list with a shared work queue. There is
+//! deliberately **no work stealing** — tasks are handed out through one
+//! channel-backed queue, which keeps the implementation tiny and the task
+//! pickup order irrelevant to results (every helper returns results in
+//! task order, not completion order).
+//!
+//! Threads are scoped (`std::thread::scope`), so closures may borrow from
+//! the caller's stack; nothing here requires `'static`.
+//!
+//! `threads == 1` always runs inline on the caller's thread — no spawns,
+//! byte-identical to a plain sequential loop — which is both the fast path
+//! for small inputs and the reference semantics the parallel paths are
+//! tested against.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the `GB_THREADS` environment
+/// variable if set (≥ 1), otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("GB_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fork-join executor with a fixed thread count.
+///
+/// The pool itself holds no threads; each call spawns scoped workers that
+/// drain a shared queue of task indices and exit. For the chunk sizes this
+/// workspace uses (thousands of rows or queries per task) the spawn cost is
+/// noise; what matters is that results are deterministic and ordered.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that runs tasks on `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`default_threads`].
+    pub fn auto() -> Self {
+        Pool::new(default_threads())
+    }
+
+    /// The configured thread count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `n_tasks` independent tasks, returning `f(i)` for each `i` in
+    /// task order. Tasks are claimed from a shared queue, so long tasks do
+    /// not stall short ones behind a static partition.
+    pub fn run<R, F>(&self, n_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n_tasks == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n_tasks == 1 {
+            return (0..n_tasks).map(f).collect();
+        }
+
+        // Channel-backed task queue: pre-filled with every index, workers
+        // take the receiver lock only to pop the next task id.
+        let (tx, rx) = mpsc::channel::<usize>();
+        for i in 0..n_tasks {
+            tx.send(i).expect("queue send");
+        }
+        drop(tx);
+        let queue = Mutex::new(rx);
+
+        let workers = self.threads.min(n_tasks);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n_tasks);
+        out.resize_with(n_tasks, || None);
+        let slots = Mutex::new(&mut out);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let task = {
+                        let rx = queue.lock().expect("queue lock");
+                        rx.recv()
+                    };
+                    let Ok(i) = task else { break };
+                    let r = f(i);
+                    slots.lock().expect("slot lock")[i] = Some(r);
+                });
+            }
+        });
+
+        out.into_iter()
+            .map(|r| r.expect("every task ran"))
+            .collect()
+    }
+
+    /// Apply `f` to every item, returning results in item order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    /// Apply `f` to consecutive chunks of at most `chunk` items; `f`
+    /// receives the chunk's starting offset and slice. Results come back in
+    /// chunk order.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let n_chunks = items.len().div_ceil(chunk);
+        self.run(n_chunks, |i| {
+            let start = i * chunk;
+            let end = (start + chunk).min(items.len());
+            f(start, &items[start..end])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_returns_results_in_task_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let out = pool.run(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_handles_empty_and_single() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 3, 8] {
+            let got = Pool::new(threads).par_map(&items, |x| x * 3 + 1);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_once() {
+        let items: Vec<usize> = (0..97).collect();
+        let pool = Pool::new(3);
+        let sums = pool.par_chunks(&items, 10, |start, chunk| {
+            assert_eq!(chunk[0], start);
+            chunk.iter().sum::<usize>()
+        });
+        assert_eq!(sums.len(), 10); // ceil(97 / 10)
+        assert_eq!(sums.iter().sum::<usize>(), 97 * 96 / 2);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let pool = Pool::new(16);
+        let out = pool.run(3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn closures_may_borrow_from_the_stack() {
+        let data: Vec<u32> = (0..500).collect();
+        let touched = AtomicUsize::new(0);
+        let pool = Pool::new(4);
+        let out = pool.run(50, |i| {
+            touched.fetch_add(1, Ordering::Relaxed);
+            data[i * 10]
+        });
+        assert_eq!(touched.load(Ordering::Relaxed), 50);
+        assert_eq!(out[7], 70);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -180,6 +180,36 @@ impl GeoBlock {
         self.num_cells() * self.record_bytes() + 3 * 8 * self.n_cols() + 32
     }
 
+    /// A digest over every stored array (floats by bit pattern, so NaN
+    /// payloads and signed zeros count). Two blocks with equal hashes are
+    /// byte-identical for all practical purposes — the `scale-threads`
+    /// experiment uses this to prove parallel builds match serial ones.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = gb_common::FxHasher::default();
+        self.level.hash(&mut h);
+        self.keys.hash(&mut h);
+        self.offsets.hash(&mut h);
+        self.counts.hash(&mut h);
+        self.key_mins.hash(&mut h);
+        self.key_maxs.hash(&mut h);
+        let bits = |v: &[f64], h: &mut gb_common::FxHasher| {
+            for x in v {
+                x.to_bits().hash(h);
+            }
+        };
+        bits(&self.mins, &mut h);
+        bits(&self.maxs, &mut h);
+        bits(&self.sums, &mut h);
+        self.n_rows.hash(&mut h);
+        self.min_cell.hash(&mut h);
+        self.max_cell.hash(&mut h);
+        bits(&self.global_mins, &mut h);
+        bits(&self.global_maxs, &mut h);
+        bits(&self.global_sums, &mut h);
+        h.finish()
+    }
+
     /// Build a coarser GeoBlock at `level` from this one **without**
     /// rescanning the base data (§3.4 "aggregate granularity"): merges the
     /// cell aggregates of each coarse cell in a single pass.

@@ -8,10 +8,20 @@
 //! "building additional Blocks with different filter sets reasonably
 //! cheap" (Figure 11a) and what the §4.4 payoff analysis measures against
 //! the isolated path (filter before sort, `gb_data::extract_filtered`).
+//!
+//! [`build_parallel`] fans the sweep out across threads. Chunk boundaries
+//! are aligned to block-level cell boundaries, so no cell is ever split
+//! across workers: every cell aggregate is accumulated by exactly one
+//! thread in base-row order, and the merged block is **bit-identical** to
+//! the serial one (see `parallel_build_is_bit_identical`). The global
+//! header is defined as an in-order fold over the cell aggregates in both
+//! paths, which keeps even its floating-point sums byte-for-byte stable.
 
 use crate::block::GeoBlock;
 use gb_cell::MAX_LEVEL;
-use gb_data::{BaseTable, Filter, Rows};
+use gb_common::Pool;
+use gb_data::{BaseTable, Filter, Rows, Schema};
+use std::ops::Range;
 use std::time::Duration;
 
 /// Statistics of one build pass.
@@ -23,25 +33,30 @@ pub struct BuildStats {
     pub rows_scanned: usize,
     /// Rows that passed the filter and were aggregated.
     pub rows_kept: usize,
+    /// Worker threads used (1 = serial sweep).
+    pub threads: usize,
 }
 
-/// Build a GeoBlock at `level` over the rows of `base` matching `filter`.
-///
-/// Single linear pass. Empty cells are omitted (§3.4); tuple offsets are
-/// positions within the *filtered* row sequence, which keeps the COUNT
-/// range-sum arithmetic of Listing 2 exact per block.
-pub fn build(base: &BaseTable, level: u8, filter: &Filter) -> (GeoBlock, BuildStats) {
-    assert!(level <= MAX_LEVEL);
-    let timer = gb_common::Timer::start();
+/// The cell aggregates produced by sweeping one contiguous row range.
+/// Offsets are local to the range's filtered sequence; [`assemble`]
+/// rebases them while concatenating partials in range order.
+struct Partial {
+    keys: Vec<u64>,
+    offsets: Vec<u64>,
+    counts: Vec<u32>,
+    key_mins: Vec<u64>,
+    key_maxs: Vec<u64>,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    sums: Vec<f64>,
+    rows_kept: u64,
+}
 
-    let schema = base.schema().clone();
-    let c = schema.len();
+/// One O(len) filter + aggregate sweep over `rows` of the sorted base.
+fn sweep_range(base: &BaseTable, level: u8, filter: &Filter, rows: Range<usize>) -> Partial {
+    let c = base.schema().len();
     let shift = 2 * (MAX_LEVEL - level) as u64;
-
-    let mut block = GeoBlock {
-        grid: *base.grid(),
-        level,
-        schema,
+    let mut p = Partial {
         keys: Vec::new(),
         offsets: Vec::new(),
         counts: Vec::new(),
@@ -50,24 +65,16 @@ pub fn build(base: &BaseTable, level: u8, filter: &Filter) -> (GeoBlock, BuildSt
         mins: Vec::new(),
         maxs: Vec::new(),
         sums: Vec::new(),
-        n_rows: 0,
-        min_cell: 0,
-        max_cell: 0,
-        global_mins: vec![f64::INFINITY; c],
-        global_maxs: vec![f64::NEG_INFINITY; c],
-        global_sums: vec![0.0; c],
-        dirty_offsets: false,
+        rows_kept: 0,
     };
 
     let keys = base.keys();
     let trivial = filter.is_trivial();
-    let mut offset = 0u64; // position within the filtered sequence
+    let mut offset = 0u64; // position within this range's filtered sequence
     let mut cur_cell = u64::MAX;
     let mut cur_count = 0u32;
 
-    // Indexed loop: `row` drives four parallel arrays plus the base table.
-    #[allow(clippy::needless_range_loop)]
-    for row in 0..keys.len() {
+    for row in rows {
         if !trivial && !filter.matches(base, row) {
             continue;
         }
@@ -78,55 +85,192 @@ pub fn build(base: &BaseTable, level: u8, filter: &Filter) -> (GeoBlock, BuildSt
 
         if cell != cur_cell {
             if cur_count > 0 {
-                block.counts.push(cur_count);
+                p.counts.push(cur_count);
             }
             cur_cell = cell;
             cur_count = 0;
-            block.keys.push(cell);
-            block.offsets.push(offset);
-            block.key_mins.push(leaf);
-            block.key_maxs.push(leaf);
-            block.mins.extend(std::iter::repeat_n(f64::INFINITY, c));
-            block.maxs.extend(std::iter::repeat_n(f64::NEG_INFINITY, c));
-            block.sums.extend(std::iter::repeat_n(0.0, c));
+            p.keys.push(cell);
+            p.offsets.push(offset);
+            p.key_mins.push(leaf);
+            p.key_maxs.push(leaf);
+            p.mins.extend(std::iter::repeat_n(f64::INFINITY, c));
+            p.maxs.extend(std::iter::repeat_n(f64::NEG_INFINITY, c));
+            p.sums.extend(std::iter::repeat_n(0.0, c));
         }
         cur_count += 1;
         offset += 1;
-        let last = block.keys.len() - 1;
-        block.key_maxs[last] = leaf; // keys ascend, so the last seen is max
+        let last = p.keys.len() - 1;
+        p.key_maxs[last] = leaf; // keys ascend, so the last seen is max
         let base_idx = last * c;
         for col in 0..c {
             let v = base.value_f64(row, col);
-            let m = &mut block.mins[base_idx + col];
+            let m = &mut p.mins[base_idx + col];
             if v < *m {
                 *m = v;
             }
-            let m = &mut block.maxs[base_idx + col];
+            let m = &mut p.maxs[base_idx + col];
             if v > *m {
                 *m = v;
             }
-            block.sums[base_idx + col] += v;
-            if v < block.global_mins[col] {
-                block.global_mins[col] = v;
-            }
-            if v > block.global_maxs[col] {
-                block.global_maxs[col] = v;
-            }
-            block.global_sums[col] += v;
+            p.sums[base_idx + col] += v;
         }
     }
     if cur_count > 0 {
-        block.counts.push(cur_count);
+        p.counts.push(cur_count);
     }
+    p.rows_kept = offset;
+    p
+}
 
-    block.n_rows = offset;
+/// Concatenate partials (in range order) into a block and derive the
+/// global header by folding the cell aggregates in cell order. The fold is
+/// the *definition* of the header, shared by the serial and parallel
+/// paths, so both produce identical bytes.
+fn assemble(grid: gb_cell::Grid, level: u8, schema: Schema, partials: Vec<Partial>) -> GeoBlock {
+    let c = schema.len();
+    let n_cells: usize = partials.iter().map(|p| p.keys.len()).sum();
+    let mut block = GeoBlock {
+        grid,
+        level,
+        schema,
+        keys: Vec::with_capacity(n_cells),
+        offsets: Vec::with_capacity(n_cells),
+        counts: Vec::with_capacity(n_cells),
+        key_mins: Vec::with_capacity(n_cells),
+        key_maxs: Vec::with_capacity(n_cells),
+        mins: Vec::with_capacity(n_cells * c),
+        maxs: Vec::with_capacity(n_cells * c),
+        sums: Vec::with_capacity(n_cells * c),
+        n_rows: 0,
+        min_cell: 0,
+        max_cell: 0,
+        global_mins: vec![f64::INFINITY; c],
+        global_maxs: vec![f64::NEG_INFINITY; c],
+        global_sums: vec![0.0; c],
+        dirty_offsets: false,
+    };
+
+    let mut row_base = 0u64;
+    for p in partials {
+        debug_assert!(
+            block
+                .keys
+                .last()
+                .zip(p.keys.first())
+                .is_none_or(|(a, b)| a < b),
+            "partials must cover disjoint, ascending cell ranges"
+        );
+        block.keys.extend_from_slice(&p.keys);
+        block.offsets.extend(p.offsets.iter().map(|o| o + row_base));
+        block.counts.extend_from_slice(&p.counts);
+        block.key_mins.extend_from_slice(&p.key_mins);
+        block.key_maxs.extend_from_slice(&p.key_maxs);
+        block.mins.extend_from_slice(&p.mins);
+        block.maxs.extend_from_slice(&p.maxs);
+        block.sums.extend_from_slice(&p.sums);
+        row_base += p.rows_kept;
+    }
+    block.n_rows = row_base;
     block.min_cell = block.keys.first().copied().unwrap_or(0);
     block.max_cell = block.keys.last().copied().unwrap_or(0);
 
+    for cell in 0..block.keys.len() {
+        let base_idx = cell * c;
+        for col in 0..c {
+            let v = block.mins[base_idx + col];
+            if v < block.global_mins[col] {
+                block.global_mins[col] = v;
+            }
+            let v = block.maxs[base_idx + col];
+            if v > block.global_maxs[col] {
+                block.global_maxs[col] = v;
+            }
+            block.global_sums[col] += block.sums[base_idx + col];
+        }
+    }
+
+    block
+}
+
+/// Build a GeoBlock at `level` over the rows of `base` matching `filter`.
+///
+/// Single linear pass. Empty cells are omitted (§3.4); tuple offsets are
+/// positions within the *filtered* row sequence, which keeps the COUNT
+/// range-sum arithmetic of Listing 2 exact per block.
+pub fn build(base: &BaseTable, level: u8, filter: &Filter) -> (GeoBlock, BuildStats) {
+    assert!(level <= MAX_LEVEL);
+    let timer = gb_common::Timer::start();
+    let n = base.keys().len();
+    let partial = sweep_range(base, level, filter, 0..n);
+    let rows_kept = partial.rows_kept as usize;
+    let block = assemble(*base.grid(), level, base.schema().clone(), vec![partial]);
     let stats = BuildStats {
         build_time: timer.elapsed(),
-        rows_scanned: keys.len(),
-        rows_kept: offset as usize,
+        rows_scanned: n,
+        rows_kept,
+        threads: 1,
+    };
+    (block, stats)
+}
+
+/// Row indices that cut `base` into at most `parts` contiguous ranges
+/// whose boundaries never split a block-level cell: each tentative even
+/// split is pushed forward to the end of the cell it lands in.
+fn cell_aligned_boundaries(base: &BaseTable, level: u8, parts: usize) -> Vec<usize> {
+    let keys = base.keys();
+    let n = keys.len();
+    let shift = 2 * (MAX_LEVEL - level) as u64;
+    let mut cuts = vec![0usize];
+    for i in 1..parts {
+        let tentative = i * n / parts;
+        if tentative <= *cuts.last().unwrap() || tentative >= n {
+            continue;
+        }
+        // Largest leaf key that still belongs to the tentative row's cell:
+        // same prefix, all level-local bits set.
+        let hi = keys[tentative] | ((1u64 << (shift + 1)) - 1);
+        let cut = tentative + keys[tentative..].partition_point(|&k| k <= hi);
+        if cut > *cuts.last().unwrap() && cut < n {
+            cuts.push(cut);
+        }
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// [`build`], fanned out over `threads` workers.
+///
+/// The result is bit-identical to the serial build: chunks are
+/// cell-aligned (`cell_aligned_boundaries`), so each cell aggregate is
+/// produced by one worker in base-row order, and the merge concatenates
+/// partials in ascending key order before deriving the global header with
+/// the same fold the serial path uses.
+pub fn build_parallel(
+    base: &BaseTable,
+    level: u8,
+    filter: &Filter,
+    threads: usize,
+) -> (GeoBlock, BuildStats) {
+    assert!(level <= MAX_LEVEL);
+    let n = base.keys().len();
+    if threads <= 1 || n < 2 {
+        let (block, mut stats) = build(base, level, filter);
+        stats.threads = 1;
+        return (block, stats);
+    }
+    let timer = gb_common::Timer::start();
+    let cuts = cell_aligned_boundaries(base, level, threads);
+    let pool = Pool::new(threads);
+    let partials = pool.run(cuts.len() - 1, |i| {
+        sweep_range(base, level, filter, cuts[i]..cuts[i + 1])
+    });
+    let rows_kept: u64 = partials.iter().map(|p| p.rows_kept).sum();
+    let block = assemble(*base.grid(), level, base.schema().clone(), partials);
+    let stats = BuildStats {
+        build_time: timer.elapsed(),
+        rows_scanned: n,
+        rows_kept: rows_kept as usize,
+        threads,
     };
     (block, stats)
 }
@@ -163,6 +307,25 @@ mod tests {
         }
         let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
         extract(&raw, grid, &CleaningRules::none(), None).base
+    }
+
+    /// Byte-level equality: every array identical, floats compared by bits.
+    fn assert_blocks_identical(a: &GeoBlock, b: &GeoBlock) {
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.key_mins, b.key_mins);
+        assert_eq!(a.key_maxs, b.key_maxs);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.mins), bits(&b.mins));
+        assert_eq!(bits(&a.maxs), bits(&b.maxs));
+        assert_eq!(bits(&a.sums), bits(&b.sums));
+        assert_eq!(a.n_rows, b.n_rows);
+        assert_eq!(a.min_cell, b.min_cell);
+        assert_eq!(a.max_cell, b.max_cell);
+        assert_eq!(bits(&a.global_mins), bits(&b.global_mins));
+        assert_eq!(bits(&a.global_maxs), bits(&b.global_maxs));
+        assert_eq!(bits(&a.global_sums), bits(&b.global_sums));
     }
 
     #[test]
@@ -211,6 +374,66 @@ mod tests {
         assert_eq!(block.num_rows(), 0);
         assert_eq!(block.num_cells(), 0);
         assert!(!block.may_overlap(CellId::ROOT));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let base = base_data(6000);
+        for level in [4u8, 8, 11] {
+            let (serial, _) = build(&base, level, &Filter::all());
+            for threads in [2usize, 3, 4, 8] {
+                let (par, stats) = build_parallel(&base, level, &Filter::all(), threads);
+                par.check_invariants();
+                assert_eq!(stats.rows_kept, 6000);
+                assert_blocks_identical(&serial, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_with_filter_is_bit_identical() {
+        let base = base_data(4000);
+        let f = Filter::on(&base, "k", CmpOp::Lt, 4.0);
+        let (serial, sstats) = build(&base, 9, &f);
+        let (par, pstats) = build_parallel(&base, 9, &f, 4);
+        assert_eq!(sstats.rows_kept, pstats.rows_kept);
+        assert_blocks_identical(&serial, &par);
+    }
+
+    #[test]
+    fn parallel_build_one_thread_delegates_to_serial() {
+        let base = base_data(1500);
+        let (serial, _) = build(&base, 7, &Filter::all());
+        let (par, stats) = build_parallel(&base, 7, &Filter::all(), 1);
+        assert_eq!(stats.threads, 1);
+        assert_blocks_identical(&serial, &par);
+    }
+
+    #[test]
+    fn parallel_build_coarse_level_few_cells() {
+        // At level 0 there is one cell: all split points collapse and the
+        // build must degenerate gracefully to a single chunk.
+        let base = base_data(2000);
+        let (serial, _) = build(&base, 0, &Filter::all());
+        let (par, _) = build_parallel(&base, 0, &Filter::all(), 8);
+        assert_eq!(serial.num_cells(), 1);
+        assert_blocks_identical(&serial, &par);
+    }
+
+    #[test]
+    fn boundaries_are_cell_aligned_and_cover_all_rows() {
+        let base = base_data(3000);
+        for parts in [2usize, 4, 7] {
+            let cuts = cell_aligned_boundaries(&base, 8, parts);
+            assert_eq!(*cuts.first().unwrap(), 0);
+            assert_eq!(*cuts.last().unwrap(), 3000);
+            assert!(cuts.windows(2).all(|w| w[0] < w[1]), "{cuts:?}");
+            for &cut in &cuts[1..cuts.len() - 1] {
+                let prev = CellId::from_raw(base.keys()[cut - 1]).parent_at(8);
+                let next = CellId::from_raw(base.keys()[cut]).parent_at(8);
+                assert_ne!(prev, next, "cut {cut} splits cell {prev:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! A concurrent, shared-nothing-write read path over GeoBlocks.
+//!
+//! [`GeoBlockEngine`] is the `Send + Sync` counterpart of
+//! [`crate::GeoBlockQC`]: many threads answer SELECT/COUNT queries over
+//! one immutable [`GeoBlock`] while the query cache adapts underneath
+//! them. The paper's single-threaded mutable state is made concurrent
+//! with three mechanisms, each chosen so *readers never block on a cache
+//! rebuild*:
+//!
+//! * **Immutable block sharing** — the block lives in an `Arc<GeoBlock>`;
+//!   queries only ever read it.
+//! * **Sharded hit statistics** — the §3.6 per-cell hit counters are
+//!   split across [`N_SHARDS`] small mutex-guarded maps keyed by a hash
+//!   of the cell id, so concurrent queries rarely contend on the same
+//!   lock, and a rebuild snapshots each shard in turn without stopping
+//!   the world.
+//! * **Epoch-style trie swap** — the [`AggregateTrie`] sits behind
+//!   `RwLock<Arc<AggregateTrie>>`. A query clones the `Arc` (read lock
+//!   held for nanoseconds) and probes its private snapshot for the whole
+//!   query. A rebuild constructs the new trie entirely *outside* the
+//!   lock, then write-locks only to swap the pointer and bump the epoch.
+//!   In-flight queries keep answering from the previous epoch's trie —
+//!   results are identical either way (both tries cache exact prefix
+//!   aggregates), so there is no torn state to observe.
+
+use crate::aggregate::AggResult;
+use crate::block::GeoBlock;
+use crate::qc::{self, CacheMetrics, RebuildPolicy};
+use crate::query::QueryStats;
+use crate::trie::AggregateTrie;
+use gb_common::FxHashMap;
+use gb_data::AggSpec;
+use gb_geom::Polygon;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of hit-statistic shards. A small power of two: enough to make
+/// same-lock collisions rare at typical thread counts, small enough that
+/// snapshotting all shards during a rebuild stays cheap.
+pub const N_SHARDS: usize = 16;
+
+/// Pick the shard for a raw cell id (Fibonacci multiplicative hash — cell
+/// ids are structured bit patterns, so raw modulo would cluster).
+#[inline]
+fn shard_of(raw: u64) -> usize {
+    (raw.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % N_SHARDS
+}
+
+/// A thread-safe GeoBlock query engine with the adaptive aggregate cache.
+///
+/// All methods take `&self`; the engine is designed to be shared as
+/// `Arc<GeoBlockEngine>` (or borrowed across `std::thread::scope`).
+pub struct GeoBlockEngine {
+    block: Arc<GeoBlock>,
+    trie: RwLock<Arc<AggregateTrie>>,
+    shards: Vec<Mutex<FxHashMap<u64, u64>>>,
+    threshold: f64,
+    policy: RebuildPolicy,
+    /// Serializes rebuilds so concurrent triggers don't duplicate the
+    /// (expensive) trie construction. Never held while answering queries.
+    rebuild_guard: Mutex<()>,
+    epoch: AtomicU64,
+    /// Monotonic query counter for the `EveryN` policy: `fetch_add`
+    /// returns each value exactly once, so exactly one thread observes
+    /// each multiple of `n` and becomes that boundary's rebuilder — no
+    /// reset, no double-rebuild race.
+    query_counter: AtomicUsize,
+    probes: AtomicU64,
+    direct_hits: AtomicU64,
+    child_hits: AtomicU64,
+}
+
+impl GeoBlockEngine {
+    /// Wrap `block` with a cache budget of `threshold` (same meaning as
+    /// [`crate::GeoBlockQC::new`]).
+    pub fn new(block: GeoBlock, threshold: f64) -> Self {
+        GeoBlockEngine::from_arc(Arc::new(block), threshold)
+    }
+
+    /// Like [`GeoBlockEngine::new`] for an already-shared block.
+    pub fn from_arc(block: Arc<GeoBlock>, threshold: f64) -> Self {
+        assert!(threshold >= 0.0);
+        let root_cell = qc::root_cell_of(&block);
+        let n_cols = block.schema().len();
+        GeoBlockEngine {
+            trie: RwLock::new(Arc::new(AggregateTrie::new(root_cell, n_cols))),
+            shards: (0..N_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            threshold,
+            policy: RebuildPolicy::Manual,
+            rebuild_guard: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+            query_counter: AtomicUsize::new(0),
+            probes: AtomicU64::new(0),
+            direct_hits: AtomicU64::new(0),
+            child_hits: AtomicU64::new(0),
+            block,
+        }
+    }
+
+    /// Set the automatic rebuild policy. With `EveryN(n)`, the thread
+    /// whose query crosses the boundary performs the rebuild; other
+    /// threads keep answering from the previous epoch meanwhile.
+    pub fn with_policy(mut self, policy: RebuildPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The shared block.
+    pub fn block(&self) -> &GeoBlock {
+        &self.block
+    }
+
+    /// Snapshot of the current cache (the trie of the current epoch).
+    pub fn trie_snapshot(&self) -> Arc<AggregateTrie> {
+        self.trie.read().expect("trie lock").clone()
+    }
+
+    /// Cache budget in bytes (threshold × cell-aggregate bytes).
+    pub fn budget_bytes(&self) -> usize {
+        (self.threshold * (self.block.num_cells() * self.block.record_bytes()) as f64) as usize
+    }
+
+    /// How many times the cache has been rebuilt (epoch counter).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Accumulated cache metrics across all threads.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            probes: self.probes.load(Ordering::Relaxed),
+            direct_hits: self.direct_hits.load(Ordering::Relaxed),
+            child_hits: self.child_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the cache metrics (e.g. between workload phases).
+    pub fn reset_metrics(&self) {
+        self.probes.store(0, Ordering::Relaxed);
+        self.direct_hits.store(0, Ordering::Relaxed);
+        self.child_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// COUNT passes straight through to the block (no cache, §3.6).
+    pub fn count(&self, polygon: &Polygon) -> (u64, QueryStats) {
+        self.block.count(polygon)
+    }
+
+    /// SELECT with the Figure-8 adapted algorithm, safe to call from any
+    /// number of threads concurrently (including during rebuilds).
+    pub fn select(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+        // Pin this query to the current epoch's trie; the read lock is
+        // released before any work happens.
+        let trie = self.trie_snapshot();
+        let mut metrics = CacheMetrics::default();
+        let out = qc::select_adapted(
+            &self.block,
+            &trie,
+            polygon,
+            spec,
+            &mut |raw| {
+                let mut shard = self.shards[shard_of(raw)].lock().expect("shard lock");
+                *shard.entry(raw).or_insert(0) += 1;
+            },
+            &mut metrics,
+        );
+        self.probes.fetch_add(metrics.probes, Ordering::Relaxed);
+        self.direct_hits
+            .fetch_add(metrics.direct_hits, Ordering::Relaxed);
+        self.child_hits
+            .fetch_add(metrics.child_hits, Ordering::Relaxed);
+
+        if let RebuildPolicy::EveryN(n) = self.policy {
+            let q = self.query_counter.fetch_add(1, Ordering::AcqRel) + 1;
+            if q.is_multiple_of(n.max(1)) {
+                self.rebuild_cache();
+            }
+        }
+        out
+    }
+
+    /// Merge every shard's hit counters into one map (each shard locked
+    /// briefly in turn — queries on other shards proceed meanwhile).
+    fn snapshot_hits(&self) -> FxHashMap<u64, u64> {
+        let mut merged = FxHashMap::default();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            for (&k, &v) in shard.iter() {
+                *merged.entry(k).or_insert(0) += v;
+            }
+        }
+        merged
+    }
+
+    /// Total distinct query cells tracked in the hit statistics.
+    pub fn tracked_cells(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").len())
+            .sum()
+    }
+
+    /// Rebuild the cache from the current hit statistics — the epoch-style
+    /// swap: construct offline, then write-lock only for the pointer swap.
+    /// Concurrent callers are serialized; concurrent readers never wait on
+    /// the construction, only (at worst) on the nanosecond-scale swap.
+    pub fn rebuild_cache(&self) {
+        let _serialize = self.rebuild_guard.lock().expect("rebuild guard");
+        let hits = self.snapshot_hits();
+        let root_cell = self.trie.read().expect("trie lock").root_cell();
+        // Expensive part: no lock held.
+        let fresh = qc::rebuild_trie(&self.block, root_cell, self.budget_bytes(), &hits);
+        // Cheap part: swap the epoch pointer.
+        *self.trie.write().expect("trie lock") = Arc::new(fresh);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for GeoBlockEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeoBlockEngine")
+            .field("cells", &self.block.num_cells())
+            .field("threshold", &self.threshold)
+            .field("epoch", &self.epoch())
+            .field("tracked_cells", &self.tracked_cells())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::GeoBlockQC;
+    use gb_cell::Grid;
+    use gb_data::{extract, CleaningRules, ColumnDef, Filter, RawTable, Schema};
+    use gb_geom::{Point, Rect};
+
+    fn base_data(n: usize) -> gb_data::BaseTable {
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v")]));
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 10_000) as f64 / 100.0
+        };
+        for i in 0..n {
+            raw.push_row(Point::new(next(), next()), &[i as f64]);
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        extract(&raw, grid, &CleaningRules::none(), None).base
+    }
+
+    fn diamond(cx: f64, cy: f64, r: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(cx, cy - r),
+            Point::new(cx + r, cy),
+            Point::new(cx, cy + r),
+            Point::new(cx - r, cy),
+        ])
+    }
+
+    fn spec() -> AggSpec {
+        AggSpec::k_aggregates(&Schema::new(vec![ColumnDef::f64("v")]), 4)
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoBlockEngine>();
+    }
+
+    #[test]
+    fn engine_matches_plain_block_cold_and_warm() {
+        let base = base_data(4000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let engine = GeoBlockEngine::new(block.clone(), 0.2);
+        let s = spec();
+        let polys: Vec<Polygon> = (0..6)
+            .map(|i| diamond(20.0 + 10.0 * i as f64, 30.0 + 7.0 * i as f64, 8.0))
+            .collect();
+        for p in &polys {
+            let (a, _) = engine.select(p, &s);
+            let (b, _) = block.select(p, &s);
+            assert!(a.approx_eq(&b, 1e-9), "cold: {a:?} vs {b:?}");
+        }
+        engine.rebuild_cache();
+        assert_eq!(engine.epoch(), 1);
+        assert!(engine.trie_snapshot().num_cached() > 0);
+        for p in &polys {
+            let (a, _) = engine.select(p, &s);
+            let (b, _) = block.select(p, &s);
+            assert!(a.approx_eq(&b, 1e-9), "warm: {a:?} vs {b:?}");
+        }
+        assert!(engine.metrics().direct_hits > 0, "expected cache hits");
+    }
+
+    #[test]
+    fn engine_rebuild_matches_qc_rebuild() {
+        // Same queries → same statistics → bit-identical caches.
+        let base = base_data(3000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let mut qc = GeoBlockQC::new(block.clone(), 0.3);
+        let engine = GeoBlockEngine::new(block, 0.3);
+        let s = spec();
+        for i in 0..10 {
+            let p = diamond(25.0 + 5.0 * i as f64, 40.0, 9.0);
+            qc.select(&p, &s);
+            engine.select(&p, &s);
+        }
+        qc.rebuild_cache();
+        engine.rebuild_cache();
+        let et = engine.trie_snapshot();
+        assert_eq!(et.num_cached(), qc.trie().num_cached());
+        assert_eq!(et.num_nodes(), qc.trie().num_nodes());
+        assert_eq!(et.size_bytes(), qc.trie().size_bytes());
+    }
+
+    #[test]
+    fn engine_respects_budget() {
+        let base = base_data(3000);
+        let (block, _) = build(&base, 9, &Filter::all());
+        let engine = GeoBlockEngine::new(block, 0.05);
+        for i in 0..20 {
+            engine.select(&diamond(30.0 + i as f64, 40.0, 10.0), &spec());
+        }
+        engine.rebuild_cache();
+        assert!(engine.trie_snapshot().size_bytes() <= engine.budget_bytes());
+    }
+
+    #[test]
+    fn auto_policy_rebuilds_via_shared_ref() {
+        let base = base_data(2000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let engine = GeoBlockEngine::new(block, 0.3).with_policy(RebuildPolicy::EveryN(4));
+        let hot = diamond(40.0, 40.0, 10.0);
+        for _ in 0..9 {
+            engine.select(&hot, &spec());
+        }
+        assert!(engine.epoch() >= 2, "epoch {}", engine.epoch());
+        assert!(engine.trie_snapshot().num_cached() > 0);
+    }
+
+    #[test]
+    fn shards_spread_cells() {
+        let base = base_data(5000);
+        let (block, _) = build(&base, 9, &Filter::all());
+        let engine = GeoBlockEngine::new(block, 0.5);
+        for i in 0..30 {
+            engine.select(&diamond(10.0 + 2.5 * i as f64, 55.0, 7.0), &spec());
+        }
+        let non_empty = engine
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(non_empty > N_SHARDS / 2, "only {non_empty} shards used");
+        assert!(engine.tracked_cells() > 0);
+    }
+}

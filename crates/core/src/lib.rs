@@ -36,10 +36,11 @@
 //! | Module | Paper section |
 //! |---|---|
 //! | [`block`] — storage layout, header, coarsening | §3.4 |
-//! | [`build`] — single-pass builds from sorted base data | §3.3 |
+//! | [`build`](mod@build) — single- or multi-threaded builds from sorted base data | §3.3 |
 //! | [`query`] — SELECT (Listing 1) and COUNT (Listing 2) | §3.5 |
 //! | [`trie`] — the AggregateTrie cache | §3.6, Fig. 7 |
 //! | [`qc`] — BlockQC: adapted query + scoring/rebuild | §3.6, Fig. 8 |
+//! | [`engine`] — `Send + Sync` concurrent read path (sharded stats, epoch-swapped cache) | — |
 //! | [`update`] — batch updates | §5 |
 //! | [`indexed`] — B-tree-indexed aggregate storage (rebuild-free updates) | §5 |
 //! | [`aggregate`] — accumulator shared with the baselines | §2, §3.4 |
@@ -47,6 +48,7 @@
 pub mod aggregate;
 pub mod block;
 pub mod build;
+pub mod engine;
 pub mod indexed;
 pub mod qc;
 pub mod query;
@@ -55,7 +57,8 @@ pub mod update;
 
 pub use aggregate::AggResult;
 pub use block::GeoBlock;
-pub use build::{build, build_with_rows, BuildStats};
+pub use build::{build, build_parallel, build_with_rows, BuildStats};
+pub use engine::GeoBlockEngine;
 pub use indexed::IndexedBlock;
 pub use qc::{CacheMetrics, GeoBlockQC, RebuildPolicy};
 pub use query::QueryStats;

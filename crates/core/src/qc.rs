@@ -51,6 +51,192 @@ impl CacheMetrics {
     }
 }
 
+/// The smallest cell enclosing every key of `block` — the natural trie
+/// root (shared by [`GeoBlockQC`] and [`crate::engine::GeoBlockEngine`]).
+pub(crate) fn root_cell_of(block: &GeoBlock) -> CellId {
+    if block.num_cells() == 0 {
+        CellId::ROOT
+    } else {
+        CellId::from_raw(block.min_cell).common_ancestor(CellId::from_raw(block.max_cell))
+    }
+}
+
+/// The Figure-8 adapted SELECT over an explicit `(block, trie)` pair.
+///
+/// `record_hit` is called once per query cell that may overlap the block
+/// (§3.6 hit statistics); the single-threaded [`GeoBlockQC`] feeds a plain
+/// hash map, the concurrent engine feeds sharded maps. Factoring the
+/// algorithm out guarantees both paths answer queries identically.
+pub(crate) fn select_adapted(
+    block: &GeoBlock,
+    trie: &AggregateTrie,
+    polygon: &Polygon,
+    spec: &AggSpec,
+    record_hit: &mut dyn FnMut(u64),
+    metrics: &mut CacheMetrics,
+) -> (AggResult, QueryStats) {
+    let covering = block.cover(polygon);
+    let mut result = AggResult::new(spec);
+    let mut stats = QueryStats::default();
+    let mut cursor = 0usize;
+
+    for qcell in covering.iter() {
+        if !block.may_overlap(qcell) {
+            continue;
+        }
+        stats.query_cells += 1;
+        // Track the hit for future cache decisions (§3.6 "for each query
+        // cell that intersects with the GeoBlock").
+        record_hit(qcell.raw());
+        metrics.probes += 1;
+
+        // Probe the cache.
+        match trie.node_for(qcell) {
+            Some(node) => {
+                if let Some(agg) = trie.agg_of(node) {
+                    // Fully cached: answer from the trie.
+                    result.combine_record(
+                        spec,
+                        agg.count,
+                        |c| agg.min(c),
+                        |c| agg.max(c),
+                        |c| agg.sum(c),
+                    );
+                    metrics.direct_hits += 1;
+                    continue;
+                }
+                if qcell.level() < gb_cell::MAX_LEVEL {
+                    if let Some(children) = trie.children_of(node) {
+                        // Partially cached: combine cached direct children,
+                        // fall back per missing child.
+                        let mut used_child = false;
+                        for (k, &child_node) in children.iter().enumerate() {
+                            let child_cell = qcell.child(k as u8);
+                            if let Some(agg) = trie.agg_of(child_node) {
+                                result.combine_record(
+                                    spec,
+                                    agg.count,
+                                    |c| agg.min(c),
+                                    |c| agg.max(c),
+                                    |c| agg.sum(c),
+                                );
+                                used_child = true;
+                            } else {
+                                cursor = block.scan_cell_range(
+                                    child_cell,
+                                    spec,
+                                    &mut result,
+                                    &mut stats,
+                                    0,
+                                );
+                            }
+                        }
+                        if used_child {
+                            metrics.child_hits += 1;
+                        }
+                        continue;
+                    }
+                }
+                // Node exists but nothing usable: old algorithm.
+                cursor = block.scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+            }
+            None => {
+                cursor = block.scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+            }
+        }
+    }
+    (result.finalize(spec), stats)
+}
+
+/// Score of a query cell: own hits plus parent hits (§3.6 "the score of a
+/// cell is the sum of the cell's hits and the hits of its parent").
+fn score_of(hits: &FxHashMap<u64, u64>, cell: CellId) -> u64 {
+    let own = hits.get(&cell.raw()).copied().unwrap_or(0);
+    let parent = if cell.level() > 0 {
+        hits.get(&cell.parent().raw()).copied().unwrap_or(0)
+    } else {
+        0
+    };
+    own + parent
+}
+
+/// Aggregate all cell aggregates inside `cell` into the scratch buffers;
+/// returns the tuple count.
+pub(crate) fn aggregate_cell_range(
+    block: &GeoBlock,
+    cell: CellId,
+    mins: &mut [f64],
+    maxs: &mut [f64],
+    sums: &mut [f64],
+) -> u64 {
+    let c = mins.len();
+    mins.fill(f64::INFINITY);
+    maxs.fill(f64::NEG_INFINITY);
+    sums.fill(0.0);
+    let mut count = 0u64;
+    let lo = cell.range_min().raw();
+    let hi = cell.range_max().raw();
+    let mut i = block.lower_bound_from(lo, 0);
+    while i < block.keys.len() && block.keys[i] <= hi {
+        count += u64::from(block.counts[i]);
+        let base = i * c;
+        for col in 0..c {
+            mins[col] = mins[col].min(block.mins[base + col]);
+            maxs[col] = maxs[col].max(block.maxs[base + col]);
+            sums[col] += block.sums[base + col];
+        }
+        i += 1;
+    }
+    count
+}
+
+/// Build a fresh AggregateTrie from hit statistics: sort candidate cells
+/// by (score desc, level asc, key asc) and insert until `budget` bytes are
+/// filled (§3.6 "Determining Relevant Aggregates"). Deterministic for a
+/// given hit map, so every caller — serial QC or concurrent engine —
+/// rebuilds the same cache from the same statistics.
+pub(crate) fn rebuild_trie(
+    block: &GeoBlock,
+    root_cell: CellId,
+    budget: usize,
+    hits: &FxHashMap<u64, u64>,
+) -> AggregateTrie {
+    let n_cols = block.schema().len();
+    let mut trie = AggregateTrie::new(root_cell, n_cols);
+
+    let mut candidates: Vec<(u64, u8, u64)> = hits
+        .keys()
+        .map(|&raw| {
+            let cell = CellId::from_raw(raw);
+            (score_of(hits, cell), cell.level(), raw)
+        })
+        .collect();
+    // Score desc, then level asc (coarser first), then key asc.
+    candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut mins = vec![0.0f64; n_cols];
+    let mut maxs = vec![0.0f64; n_cols];
+    let mut sums = vec![0.0f64; n_cols];
+    for (_, _, raw) in candidates {
+        let cell = CellId::from_raw(raw);
+        let Some(cost) = trie.insertion_cost(cell) else {
+            continue;
+        };
+        if trie.size_bytes() + cost > budget {
+            // Reserved area full (the paper inserts by descending
+            // relevance until the space is exhausted).
+            break;
+        }
+        let count = aggregate_cell_range(block, cell, &mut mins, &mut maxs, &mut sums);
+        // Empty cells are cached too: a count-0 record answers "no data
+        // here" without touching the aggregates, and Figure 18's cache hit
+        // rate reaching 100 % requires every queried cell to become
+        // cacheable.
+        trie.insert(cell, count, &mins, &maxs, &sums);
+    }
+    trie
+}
+
 /// A GeoBlock with the AggregateTrie query cache.
 #[derive(Debug, Clone)]
 pub struct GeoBlockQC {
@@ -70,11 +256,7 @@ impl GeoBlockQC {
     /// of the cell-aggregate storage, the paper's skew-experiment setting).
     pub fn new(block: GeoBlock, threshold: f64) -> Self {
         assert!(threshold >= 0.0);
-        let root_cell = if block.num_cells() == 0 {
-            CellId::ROOT
-        } else {
-            CellId::from_raw(block.min_cell).common_ancestor(CellId::from_raw(block.max_cell))
-        };
+        let root_cell = root_cell_of(&block);
         let n_cols = block.schema().len();
         GeoBlockQC {
             block,
@@ -137,80 +319,21 @@ impl GeoBlockQC {
 
     /// SELECT with the Figure-8 adapted algorithm.
     pub fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
-        let covering = self.block.cover(polygon);
-        let mut result = AggResult::new(spec);
-        let mut stats = QueryStats::default();
-        let mut cursor = 0usize;
-
-        for qcell in covering.iter() {
-            if !self.block.may_overlap(qcell) {
-                continue;
-            }
-            stats.query_cells += 1;
-            // Track the hit for future cache decisions (§3.6 "for each
-            // query cell that intersects with the GeoBlock").
-            *self.hits.entry(qcell.raw()).or_insert(0) += 1;
-            self.metrics.probes += 1;
-
-            // Probe the cache.
-            match self.trie.node_for(qcell) {
-                Some(node) => {
-                    if let Some(agg) = self.trie.agg_of(node) {
-                        // Fully cached: answer from the trie.
-                        result.combine_record(
-                            spec,
-                            agg.count,
-                            |c| agg.min(c),
-                            |c| agg.max(c),
-                            |c| agg.sum(c),
-                        );
-                        self.metrics.direct_hits += 1;
-                        continue;
-                    }
-                    if qcell.level() < gb_cell::MAX_LEVEL {
-                        if let Some(children) = self.trie.children_of(node) {
-                            // Partially cached: combine cached direct
-                            // children, fall back per missing child.
-                            let mut used_child = false;
-                            for (k, &child_node) in children.iter().enumerate() {
-                                let child_cell = qcell.child(k as u8);
-                                if let Some(agg) = self.trie.agg_of(child_node) {
-                                    result.combine_record(
-                                        spec,
-                                        agg.count,
-                                        |c| agg.min(c),
-                                        |c| agg.max(c),
-                                        |c| agg.sum(c),
-                                    );
-                                    used_child = true;
-                                } else {
-                                    cursor = self.block.scan_cell_range(
-                                        child_cell,
-                                        spec,
-                                        &mut result,
-                                        &mut stats,
-                                        0,
-                                    );
-                                }
-                            }
-                            if used_child {
-                                self.metrics.child_hits += 1;
-                            }
-                            continue;
-                        }
-                    }
-                    // Node exists but nothing usable: old algorithm.
-                    cursor =
-                        self.block
-                            .scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
-                }
-                None => {
-                    cursor =
-                        self.block
-                            .scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
-                }
-            }
-        }
+        let GeoBlockQC {
+            block,
+            trie,
+            hits,
+            metrics,
+            ..
+        } = self;
+        let out = select_adapted(
+            block,
+            trie,
+            polygon,
+            spec,
+            &mut |raw| *hits.entry(raw).or_insert(0) += 1,
+            metrics,
+        );
 
         self.queries_since_rebuild += 1;
         if let RebuildPolicy::EveryN(n) = self.policy {
@@ -218,20 +341,7 @@ impl GeoBlockQC {
                 self.rebuild_cache();
             }
         }
-        (result.finalize(spec), stats)
-    }
-
-    /// Score of a query cell: own hits plus parent hits (§3.6 "the score
-    /// of a cell is the sum of the cell's hits and the hits of its
-    /// parent").
-    fn score(&self, cell: CellId) -> u64 {
-        let own = self.hits.get(&cell.raw()).copied().unwrap_or(0);
-        let parent = if cell.level() > 0 {
-            self.hits.get(&cell.parent().raw()).copied().unwrap_or(0)
-        } else {
-            0
-        };
-        own + parent
+        out
     }
 
     /// Rebuild the AggregateTrie from the hit statistics: sort candidate
@@ -239,72 +349,12 @@ impl GeoBlockQC {
     /// reserved area is filled (§3.6 "Determining Relevant Aggregates").
     pub fn rebuild_cache(&mut self) {
         self.queries_since_rebuild = 0;
-        let budget = self.budget_bytes();
-        let n_cols = self.block.schema().len();
-        let mut trie = AggregateTrie::new(self.trie.root_cell(), n_cols);
-
-        let mut candidates: Vec<(u64, u8, u64)> = self
-            .hits
-            .keys()
-            .map(|&raw| {
-                let cell = CellId::from_raw(raw);
-                (self.score(cell), cell.level(), raw)
-            })
-            .collect();
-        // Score desc, then level asc (coarser first), then key asc.
-        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-
-        let mut mins = vec![0.0f64; n_cols];
-        let mut maxs = vec![0.0f64; n_cols];
-        let mut sums = vec![0.0f64; n_cols];
-        for (_, _, raw) in candidates {
-            let cell = CellId::from_raw(raw);
-            let Some(cost) = trie.insertion_cost(cell) else {
-                continue;
-            };
-            if trie.size_bytes() + cost > budget {
-                // Reserved area full (the paper inserts by descending
-                // relevance until the space is exhausted).
-                break;
-            }
-            let count = self.aggregate_cell_range(cell, &mut mins, &mut maxs, &mut sums);
-            // Empty cells are cached too: a count-0 record answers "no data
-            // here" without touching the aggregates, and Figure 18's cache
-            // hit rate reaching 100 % requires every queried cell to become
-            // cacheable.
-            trie.insert(cell, count, &mins, &maxs, &sums);
-        }
-        self.trie = trie;
-    }
-
-    /// Aggregate all cell aggregates inside `cell` into the scratch
-    /// buffers; returns the tuple count.
-    fn aggregate_cell_range(
-        &self,
-        cell: CellId,
-        mins: &mut [f64],
-        maxs: &mut [f64],
-        sums: &mut [f64],
-    ) -> u64 {
-        let c = mins.len();
-        mins.fill(f64::INFINITY);
-        maxs.fill(f64::NEG_INFINITY);
-        sums.fill(0.0);
-        let mut count = 0u64;
-        let lo = cell.range_min().raw();
-        let hi = cell.range_max().raw();
-        let mut i = self.block.lower_bound_from(lo, 0);
-        while i < self.block.keys.len() && self.block.keys[i] <= hi {
-            count += u64::from(self.block.counts[i]);
-            let base = i * c;
-            for col in 0..c {
-                mins[col] = mins[col].min(self.block.mins[base + col]);
-                maxs[col] = maxs[col].max(self.block.maxs[base + col]);
-                sums[col] += self.block.sums[base + col];
-            }
-            i += 1;
-        }
-        count
+        self.trie = rebuild_trie(
+            &self.block,
+            self.trie.root_cell(),
+            self.budget_bytes(),
+            &self.hits,
+        );
     }
 }
 

@@ -6,11 +6,21 @@
 //! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
 //!
 //! Measurement is intentionally simple — warm up for `warm_up_time`,
-//! calibrate an iteration count that fills `measurement_time`, run it, and
-//! report the mean ns/iteration to stdout. There are no statistical
-//! analyses, no HTML reports, and no `target/criterion` output; the shim
-//! exists so `cargo bench` compiles and produces usable relative numbers.
+//! calibrate an iteration count that fills `measurement_time`, run several
+//! equally-sized batches, and report the mean and median ns/iteration to
+//! stdout. There are no statistical analyses, no HTML reports, and no
+//! `target/criterion` output; the shim exists so `cargo bench` compiles
+//! and produces usable relative numbers.
+//!
+//! Two environment knobs support the CI perf-smoke gate:
+//!
+//! * `CRITERION_JSON=<path>` — append one stable JSON line per benchmark
+//!   (`{"id":…,"mean_ns":…,"median_ns":…,"iters":…}`, the same format
+//!   `gb_bench::json` reads), so tooling never scrapes the human output.
+//! * `CRITERION_QUICK=1` — shrink warm-up/measurement to 50 ms/250 ms per
+//!   benchmark for smoke runs where trend, not precision, matters.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -34,12 +44,25 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        if quick_mode() {
+            return Criterion {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(50),
+                measurement_time: Duration::from_millis(250),
+            };
+        }
         Criterion {
             sample_size: 100,
             warm_up_time: Duration::from_millis(500),
             measurement_time: Duration::from_secs(2),
         }
     }
+}
+
+/// `CRITERION_QUICK=1` (or any non-empty value other than `0`) selects the
+/// short smoke-run configuration.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 impl Criterion {
@@ -135,13 +158,70 @@ impl Bencher {
     }
 }
 
+/// Scale a raw ns value into a human `(value, unit)` pair.
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Append one JSON line to the `CRITERION_JSON` file, if configured. The
+/// line format is the workspace-wide bench-record schema consumed by
+/// `gb_bench::json` / `bench_diff`.
+fn emit_json(name: &str, mean_ns: f64, median_ns: f64, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"mean_ns\":{mean_ns:.3},\"median_ns\":{median_ns:.3},\"iters\":{iters}}}"
+    );
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    match file {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => eprintln!("criterion shim: cannot append to CRITERION_JSON={path}: {e}"),
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, name: &str, mut f: F) {
+    // Quick mode wins even over per-bench config overrides: smoke runs
+    // must stay short no matter what the bench file requests.
+    let (warm_up_time, measurement_time, n_batches) = if quick_mode() {
+        (
+            config.warm_up_time.min(Duration::from_millis(50)),
+            config.measurement_time.min(Duration::from_millis(250)),
+            5usize,
+        )
+    } else {
+        (config.warm_up_time, config.measurement_time, 9usize)
+    };
+
     // Calibration pass: one iteration, to estimate per-iter cost.
     let mut b = Bencher {
         iters: 1,
         elapsed: Duration::ZERO,
     };
-    let warm_deadline = Instant::now() + config.warm_up_time;
+    let warm_deadline = Instant::now() + warm_up_time;
     f(&mut b);
     let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
     // Warm up (and refine the estimate) until the warm-up budget is spent.
@@ -150,26 +230,32 @@ fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, name: &str, mut f: F) {
         per_iter = (per_iter + b.elapsed.max(Duration::from_nanos(1))) / 2;
     }
 
-    // One measurement batch sized to fill measurement_time, capped so a
-    // misestimate cannot hang the run.
-    let target = config.measurement_time.as_nanos().max(1);
-    let iters = (target / per_iter.as_nanos().max(1))
+    // Several equal measurement batches sized to fill measurement_time
+    // together, capped so a misestimate cannot hang the run. The batch
+    // medians give an outlier-resistant ns/iter; the pooled mean weighs
+    // every iteration equally.
+    let per_batch = measurement_time.as_nanos().max(1) / n_batches as u128;
+    let iters = (per_batch / per_iter.as_nanos().max(1))
         .clamp(1, 10_000_000)
         .min(config.sample_size as u128 * 100_000) as u64;
-    b.iters = iters;
-    f(&mut b);
+    let mut batch_ns: Vec<f64> = Vec::with_capacity(n_batches);
+    let mut total_ns = 0.0f64;
+    for _ in 0..n_batches {
+        b.iters = iters;
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64;
+        total_ns += ns;
+        batch_ns.push(ns / iters as f64);
+    }
+    batch_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median_ns = batch_ns[batch_ns.len() / 2];
+    let total_iters = iters * n_batches as u64;
+    let mean_ns = total_ns / total_iters as f64;
 
-    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
-    let (value, unit) = if ns >= 1e9 {
-        (ns / 1e9, "s")
-    } else if ns >= 1e6 {
-        (ns / 1e6, "ms")
-    } else if ns >= 1e3 {
-        (ns / 1e3, "µs")
-    } else {
-        (ns, "ns")
-    };
-    println!("{name:<50} time: {value:>10.3} {unit}/iter  ({iters} iters)");
+    let (mv, mu) = humanize(mean_ns);
+    let (dv, du) = humanize(median_ns);
+    println!("{name:<50} time: {mv:>10.3} {mu}/iter  (median {dv:.3} {du}, {total_iters} iters)");
+    emit_json(name, mean_ns, median_ns, total_iters);
 }
 
 /// Define a named group of benchmark targets.
