@@ -1,21 +1,26 @@
 //! The reproduction driver: regenerates every table and figure of the
 //! paper's evaluation section, plus the `scale-threads` hardware-scaling
-//! sweep that feeds the CI perf gate.
+//! sweep that feeds the CI perf gate and the `persist` snapshot
+//! save/load-vs-rebuild experiment.
 //!
 //! ```text
 //! repro <experiment|all> [--scale F] [--seed N] [--write PATH]
 //!                        [--threads LIST] [--json PATH]
 //!
 //!   experiments: fig10 fig11a fig11b fig11c table2 fig12 fig13 fig14
-//!                fig15 fig16 fig17 fig18 fig19 scale-threads all
+//!                fig15 fig16 fig17 fig18 fig19 scale-threads persist all
 //!   --scale F      multiply dataset sizes (default 1.0; 30 ≈ paper scale)
 //!   --seed N       master RNG seed (default 42)
 //!   --write PATH   also append the markdown reports to PATH
 //!   --threads LIST comma-separated thread counts for scale-threads
 //!                  (default "1,2,4,8")
 //!   --json PATH    write machine-readable BenchRecords (JSON lines) —
-//!                  only scale-threads produces them
+//!                  scale-threads and persist produce them
 //! ```
+//!
+//! Errors (unknown columns, unwritable output files) are printed as one
+//! clean line on stderr and exit with status 1 — the driver never
+//! panics on malformed input.
 
 use gb_bench::experiments;
 use gb_bench::json::BenchRecord;
@@ -24,13 +29,20 @@ use gb_bench::Ctx;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|scale-threads|all> \
+        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|scale-threads|persist|all> \
          [--scale F] [--seed N] [--write PATH] [--threads LIST] [--json PATH]"
     );
     std::process::exit(2);
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("repro: error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -101,13 +113,22 @@ fn main() {
         "fig16" => vec![experiments::fig16(&ctx)],
         "fig17" => vec![experiments::fig17(&ctx)],
         "fig18" => vec![experiments::fig18(&ctx)],
-        "fig19" => vec![experiments::fig19(&ctx)],
+        "fig19" => vec![experiments::fig19(&ctx).map_err(|e| e.to_string())?],
         "scale-threads" => {
             let (rep, recs) = experiments::scale_threads(&ctx, &threads);
             bench_records = recs;
             vec![rep]
         }
-        "all" => experiments::all(&ctx),
+        "persist" => {
+            let (rep, recs) = experiments::persist(&ctx)?;
+            bench_records = recs;
+            vec![rep]
+        }
+        "all" => {
+            let (reps, recs) = experiments::all(&ctx)?;
+            bench_records = recs;
+            reps
+        }
         _ => usage(),
     };
     eprintln!("# completed in {:.1} s", t.elapsed().as_secs_f64());
@@ -122,16 +143,18 @@ fn main() {
             .create(true)
             .append(true)
             .open(&path)
-            .expect("open report file");
+            .map_err(|e| format!("cannot open report file {path:?}: {e}"))?;
         for r in &reports {
-            writeln!(f, "{}", r.to_markdown()).expect("write report");
+            writeln!(f, "{}", r.to_markdown())
+                .map_err(|e| format!("cannot write report to {path:?}: {e}"))?;
         }
         eprintln!("# appended {} report(s) to {path}", reports.len());
     }
 
     if let Some(path) = json_path {
         gb_bench::json::write_jsonl(std::path::Path::new(&path), &bench_records, false)
-            .expect("write bench json");
+            .map_err(|e| format!("cannot write bench json to {path:?}: {e}"))?;
         eprintln!("# wrote {} bench record(s) to {path}", bench_records.len());
     }
+    Ok(())
 }

@@ -36,6 +36,16 @@ impl CellId {
         c
     }
 
+    /// Construct from a raw id without panicking: `None` for malformed
+    /// bit patterns. This is the entry point for untrusted input (e.g.
+    /// snapshot files), where [`CellId::from_raw`]'s assert would turn
+    /// corruption into a crash.
+    #[inline]
+    pub fn try_from_raw(raw: u64) -> Option<CellId> {
+        let c = CellId(raw);
+        c.is_valid().then_some(c)
+    }
+
     /// The raw 64-bit key (what GeoBlocks sorts and stores).
     #[inline]
     pub const fn raw(self) -> u64 {
@@ -247,6 +257,17 @@ impl std::fmt::Display for CellId {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_from_raw_rejects_malformed_ids() {
+        assert_eq!(CellId::try_from_raw(0), None);
+        assert_eq!(CellId::try_from_raw(1u64 << 62), None);
+        assert_eq!(CellId::try_from_raw(0b100), Some(CellId(0b100)));
+        let leaf = CellId::from_leaf_pos(12345);
+        assert_eq!(CellId::try_from_raw(leaf.raw()), Some(leaf));
+        // Sentinel at an odd bit position is not a valid encoding.
+        assert_eq!(CellId::try_from_raw(0b10), None);
+    }
 
     #[test]
     fn root_properties() {

@@ -281,33 +281,86 @@ impl GeoBlock {
         out
     }
 
-    /// Sanity-check internal invariants (used by tests and debug builds).
-    pub fn check_invariants(&self) {
+    /// Check every internal invariant without panicking — the validation
+    /// gate for untrusted inputs (snapshot loads): a corrupt file that
+    /// passes the container checksums must still describe a structurally
+    /// possible block before any query code touches it.
+    pub fn validate(&self) -> Result<(), String> {
         let c = self.n_cols();
-        assert_eq!(self.offsets.len(), self.keys.len());
-        assert_eq!(self.counts.len(), self.keys.len());
-        assert_eq!(self.mins.len(), self.keys.len() * c);
-        assert!(
-            self.keys.windows(2).all(|w| w[0] < w[1]),
-            "keys strictly ascending"
-        );
+        let n = self.keys.len();
+        if self.offsets.len() != n || self.counts.len() != n {
+            return Err(format!(
+                "array lengths disagree: {n} keys, {} offsets, {} counts",
+                self.offsets.len(),
+                self.counts.len()
+            ));
+        }
+        if self.key_mins.len() != n || self.key_maxs.len() != n {
+            return Err("key min/max arrays do not match the cell count".into());
+        }
+        if self.mins.len() != n * c || self.maxs.len() != n * c || self.sums.len() != n * c {
+            return Err(format!(
+                "aggregate arrays must hold cells × columns = {} values",
+                n * c
+            ));
+        }
+        if self.global_mins.len() != c || self.global_maxs.len() != c || self.global_sums.len() != c
+        {
+            return Err("global header arrays do not match the column count".into());
+        }
+        if self.level > gb_cell::MAX_LEVEL {
+            return Err(format!("block level {} exceeds MAX_LEVEL", self.level));
+        }
+        if !self.keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err("cell keys not strictly ascending".into());
+        }
         let total: u64 = self.counts.iter().map(|&x| u64::from(x)).sum();
-        assert_eq!(total, self.n_rows, "counts sum to n_rows");
+        if total != self.n_rows {
+            return Err(format!(
+                "counts sum to {total}, header says {}",
+                self.n_rows
+            ));
+        }
         for (i, &k) in self.keys.iter().enumerate() {
-            let cell = CellId::from_raw(k);
-            assert_eq!(cell.level(), self.level, "cell at block level");
-            assert!(self.counts[i] > 0, "no empty cells stored");
-            // Leaf keys inside the cell's range.
-            assert!(cell.contains(CellId::from_raw(self.key_mins[i])));
-            assert!(cell.contains(CellId::from_raw(self.key_maxs[i])));
+            let cell = CellId::try_from_raw(k)
+                .ok_or_else(|| format!("malformed cell id {k:#x} at index {i}"))?;
+            if cell.level() != self.level {
+                return Err(format!(
+                    "cell {i} at level {}, block level is {}",
+                    cell.level(),
+                    self.level
+                ));
+            }
+            if self.counts[i] == 0 {
+                return Err(format!("empty cell stored at index {i}"));
+            }
+            let key_ok = |raw: u64| CellId::try_from_raw(raw).is_some_and(|id| cell.contains(id));
+            if !key_ok(self.key_mins[i]) || !key_ok(self.key_maxs[i]) {
+                return Err(format!("leaf key bounds of cell {i} outside the cell"));
+            }
+        }
+        if n > 0 && (self.min_cell != self.keys[0] || self.max_cell != self.keys[n - 1]) {
+            return Err("header min/max cells disagree with the key array".into());
         }
         if !self.dirty_offsets {
             // Offsets are a running prefix sum of counts.
             let mut expect = self.offsets.first().copied().unwrap_or(0);
-            for i in 0..self.keys.len() {
-                assert_eq!(self.offsets[i], expect, "offset prefix-sum at {i}");
+            for i in 0..n {
+                if self.offsets[i] != expect {
+                    return Err(format!("offset prefix-sum broken at index {i}"));
+                }
                 expect += u64::from(self.counts[i]);
             }
+        }
+        Ok(())
+    }
+
+    /// Sanity-check internal invariants (used by tests and debug builds).
+    /// Panicking wrapper around [`GeoBlock::validate`].
+    #[track_caller]
+    pub fn check_invariants(&self) {
+        if let Err(e) = self.validate() {
+            panic!("GeoBlock invariant violated: {e}");
         }
     }
 }

@@ -354,7 +354,7 @@ mod tests {
     #[test]
     fn filtered_build_aggregates_subset() {
         let base = base_data(2000);
-        let f = Filter::on(&base, "k", CmpOp::Eq, 3.0);
+        let f = Filter::on(&base, "k", CmpOp::Eq, 3.0).unwrap();
         let (block, stats) = build(&base, 8, &f);
         block.check_invariants();
         assert_eq!(block.num_rows(), 200);
@@ -369,7 +369,7 @@ mod tests {
     #[test]
     fn empty_filter_result_builds_empty_block() {
         let base = base_data(100);
-        let f = Filter::on(&base, "v", CmpOp::Lt, -1.0);
+        let f = Filter::on(&base, "v", CmpOp::Lt, -1.0).unwrap();
         let (block, _) = build(&base, 8, &f);
         assert_eq!(block.num_rows(), 0);
         assert_eq!(block.num_cells(), 0);
@@ -393,7 +393,7 @@ mod tests {
     #[test]
     fn parallel_build_with_filter_is_bit_identical() {
         let base = base_data(4000);
-        let f = Filter::on(&base, "k", CmpOp::Lt, 4.0);
+        let f = Filter::on(&base, "k", CmpOp::Lt, 4.0).unwrap();
         let (serial, sstats) = build(&base, 9, &f);
         let (par, pstats) = build_parallel(&base, 9, &f, 4);
         assert_eq!(sstats.rows_kept, pstats.rows_kept);

@@ -27,12 +27,14 @@ use crate::aggregate::AggResult;
 use crate::block::GeoBlock;
 use crate::qc::{self, CacheMetrics, RebuildPolicy};
 use crate::query::QueryStats;
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::trie::AggregateTrie;
 use gb_common::FxHashMap;
 use gb_data::AggSpec;
 use gb_geom::Polygon;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Number of hit-statistic shards. A small power of two: enough to make
 /// same-lock collisions rare at typical thread counts, small enough that
@@ -114,7 +116,10 @@ impl GeoBlockEngine {
 
     /// Snapshot of the current cache (the trie of the current epoch).
     pub fn trie_snapshot(&self) -> Arc<AggregateTrie> {
-        self.trie.read().expect("trie lock").clone()
+        self.trie
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Cache budget in bytes (threshold × cell-aggregate bytes).
@@ -161,7 +166,9 @@ impl GeoBlockEngine {
             polygon,
             spec,
             &mut |raw| {
-                let mut shard = self.shards[shard_of(raw)].lock().expect("shard lock");
+                let mut shard = self.shards[shard_of(raw)]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 *shard.entry(raw).or_insert(0) += 1;
             },
             &mut metrics,
@@ -181,12 +188,56 @@ impl GeoBlockEngine {
         out
     }
 
+    /// Persist the block **and** the live cache state (current trie +
+    /// merged hit statistics), so a restarted engine resumes exactly
+    /// where this one is: same cached aggregates, same learned scores.
+    pub fn write_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        let trie = self.trie_snapshot();
+        let hits = self.snapshot_hits();
+        crate::snapshot::SnapshotRef {
+            block: &self.block,
+            trie: Some(&trie),
+            hits: Some(&hits),
+        }
+        .save(path)
+    }
+
+    /// Start a **pre-warmed** engine from a snapshot file: the restored
+    /// trie serves cache hits from the very first query (restart ≈ zero
+    /// cache misses), and restored hit statistics keep informing future
+    /// rebuilds. Snapshots without cache sections start cold, exactly
+    /// like [`GeoBlockEngine::new`].
+    pub fn from_snapshot(path: &Path, threshold: f64) -> Result<Self, SnapshotError> {
+        Ok(GeoBlockEngine::from_snapshot_state(
+            Snapshot::load(path)?,
+            threshold,
+        ))
+    }
+
+    /// Build an engine from an already-loaded [`Snapshot`] (the in-memory
+    /// half of [`GeoBlockEngine::from_snapshot`]).
+    pub fn from_snapshot_state(snap: Snapshot, threshold: f64) -> Self {
+        let engine = GeoBlockEngine::from_arc(Arc::new(snap.block), threshold);
+        if let Some(trie) = snap.trie {
+            *engine.trie.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(trie);
+        }
+        if let Some(hits) = snap.hits {
+            for (k, v) in hits {
+                let mut shard = engine.shards[shard_of(k)]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                *shard.entry(k).or_insert(0) += v;
+            }
+        }
+        engine
+    }
+
     /// Merge every shard's hit counters into one map (each shard locked
     /// briefly in turn — queries on other shards proceed meanwhile).
     fn snapshot_hits(&self) -> FxHashMap<u64, u64> {
         let mut merged = FxHashMap::default();
         for shard in &self.shards {
-            let shard = shard.lock().expect("shard lock");
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             for (&k, &v) in shard.iter() {
                 *merged.entry(k).or_insert(0) += v;
             }
@@ -198,7 +249,7 @@ impl GeoBlockEngine {
     pub fn tracked_cells(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard lock").len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 
@@ -207,13 +258,20 @@ impl GeoBlockEngine {
     /// Concurrent callers are serialized; concurrent readers never wait on
     /// the construction, only (at worst) on the nanosecond-scale swap.
     pub fn rebuild_cache(&self) {
-        let _serialize = self.rebuild_guard.lock().expect("rebuild guard");
+        let _serialize = self
+            .rebuild_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let hits = self.snapshot_hits();
-        let root_cell = self.trie.read().expect("trie lock").root_cell();
+        let root_cell = self
+            .trie
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .root_cell();
         // Expensive part: no lock held.
         let fresh = qc::rebuild_trie(&self.block, root_cell, self.budget_bytes(), &hits);
         // Cheap part: swap the epoch pointer.
-        *self.trie.write().expect("trie lock") = Arc::new(fresh);
+        *self.trie.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(fresh);
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 }
@@ -345,6 +403,101 @@ mod tests {
     }
 
     #[test]
+    fn engine_survives_poisoned_locks() {
+        // One panicking query thread must not wedge every subsequent
+        // reader: poison every shard mutex, the rebuild guard, and the
+        // trie RwLock, then verify the engine still answers correctly
+        // and can still rebuild its cache.
+        let base = base_data(3000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let engine = Arc::new(GeoBlockEngine::new(block.clone(), 0.3));
+        let s = spec();
+        let hot = diamond(40.0, 40.0, 12.0);
+        engine.select(&hot, &s);
+
+        for i in 0..N_SHARDS {
+            let e = Arc::clone(&engine);
+            let _ = std::thread::spawn(move || {
+                let _guard = e.shards[i].lock().unwrap();
+                panic!("deliberate shard poison");
+            })
+            .join();
+        }
+        {
+            let e = Arc::clone(&engine);
+            let _ = std::thread::spawn(move || {
+                let _guard = e.rebuild_guard.lock().unwrap();
+                panic!("deliberate guard poison");
+            })
+            .join();
+        }
+        {
+            let e = Arc::clone(&engine);
+            let _ = std::thread::spawn(move || {
+                let _guard = e.trie.write().unwrap();
+                panic!("deliberate trie poison");
+            })
+            .join();
+        }
+        assert!(engine.shards.iter().all(|s| s.is_poisoned()));
+
+        // Queries, statistics, and rebuilds all keep working.
+        let (a, _) = engine.select(&hot, &s);
+        let (b, _) = block.select(&hot, &s);
+        assert!(a.approx_eq(&b, 1e-9), "post-poison: {a:?} vs {b:?}");
+        assert!(engine.tracked_cells() > 0);
+        engine.rebuild_cache();
+        assert_eq!(engine.epoch(), 1);
+        assert!(engine.trie_snapshot().num_cached() > 0);
+        let (c, _) = engine.select(&hot, &s);
+        assert!(c.approx_eq(&b, 1e-9), "post-poison warm: {c:?} vs {b:?}");
+    }
+
+    #[test]
+    fn snapshot_warm_start_is_identical_and_warm() {
+        let dir = std::env::temp_dir().join("gb_engine_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.gbsnap");
+
+        let base = base_data(4000);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let engine = GeoBlockEngine::new(block.clone(), 0.3);
+        let s = spec();
+        let polys: Vec<Polygon> = (0..8)
+            .map(|i| diamond(18.0 + 8.0 * i as f64, 30.0 + 6.0 * i as f64, 9.0))
+            .collect();
+        for p in &polys {
+            engine.select(p, &s);
+        }
+        engine.rebuild_cache();
+        engine.write_snapshot(&path).expect("save");
+
+        let warm = GeoBlockEngine::from_snapshot(&path, 0.3).expect("load");
+        assert_eq!(warm.block().content_hash(), block.content_hash());
+        // The restored trie is bit-identical to the saved one.
+        assert_eq!(
+            warm.trie_snapshot().content_hash(),
+            engine.trie_snapshot().content_hash()
+        );
+        // Warm from the first query: identical answers AND cache hits
+        // without any rebuild on the restored engine.
+        warm.reset_metrics();
+        for p in &polys {
+            let (a, _) = warm.select(p, &s);
+            let (b, _) = engine.select(p, &s);
+            assert!(a.approx_eq(&b, 1e-9), "warm-start: {a:?} vs {b:?}");
+        }
+        assert!(
+            warm.metrics().direct_hits > 0,
+            "restored cache should hit immediately: {:?}",
+            warm.metrics()
+        );
+        // Restored hit statistics carried over too.
+        assert_eq!(warm.tracked_cells(), engine.tracked_cells());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn shards_spread_cells() {
         let base = base_data(5000);
         let (block, _) = build(&base, 9, &Filter::all());
@@ -355,7 +508,7 @@ mod tests {
         let non_empty = engine
             .shards
             .iter()
-            .filter(|s| !s.lock().unwrap().is_empty())
+            .filter(|s| !s.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
             .count();
         assert!(non_empty > N_SHARDS / 2, "only {non_empty} shards used");
         assert!(engine.tracked_cells() > 0);

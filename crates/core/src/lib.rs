@@ -41,6 +41,7 @@
 //! | [`trie`] — the AggregateTrie cache | §3.6, Fig. 7 |
 //! | [`qc`] — BlockQC: adapted query + scoring/rebuild | §3.6, Fig. 8 |
 //! | [`engine`] — `Send + Sync` concurrent read path (sharded stats, epoch-swapped cache) | — |
+//! | [`snapshot`] — versioned persistence of blocks + learned cache state | — |
 //! | [`update`] — batch updates | §5 |
 //! | [`indexed`] — B-tree-indexed aggregate storage (rebuild-free updates) | §5 |
 //! | [`aggregate`] — accumulator shared with the baselines | §2, §3.4 |
@@ -52,6 +53,7 @@ pub mod engine;
 pub mod indexed;
 pub mod qc;
 pub mod query;
+pub mod snapshot;
 pub mod trie;
 pub mod update;
 
@@ -62,5 +64,6 @@ pub use engine::GeoBlockEngine;
 pub use indexed::IndexedBlock;
 pub use qc::{CacheMetrics, GeoBlockQC, RebuildPolicy};
 pub use query::QueryStats;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotRef, SNAPSHOT_VERSION};
 pub use trie::AggregateTrie;
 pub use update::{UpdateBatch, UpdateReport};

@@ -344,6 +344,36 @@ impl GeoBlockQC {
         out
     }
 
+    /// Persist the block and the current cache state (trie + hit
+    /// statistics) — the single-threaded counterpart of
+    /// [`crate::GeoBlockEngine::write_snapshot`].
+    pub fn write_snapshot(&self, path: &std::path::Path) -> Result<(), crate::SnapshotError> {
+        crate::snapshot::SnapshotRef {
+            block: &self.block,
+            trie: Some(&self.trie),
+            hits: Some(&self.hits),
+        }
+        .save(path)
+    }
+
+    /// Restore a BlockQC from a snapshot. If the snapshot carries cache
+    /// state the restored QC starts warm (same trie, same learned hit
+    /// scores); otherwise it behaves like [`GeoBlockQC::new`].
+    pub fn from_snapshot(
+        path: &std::path::Path,
+        threshold: f64,
+    ) -> Result<GeoBlockQC, crate::SnapshotError> {
+        let snap = crate::Snapshot::load(path)?;
+        let mut qc = GeoBlockQC::new(snap.block, threshold);
+        if let Some(trie) = snap.trie {
+            qc.trie = trie;
+        }
+        if let Some(hits) = snap.hits {
+            qc.hits = hits;
+        }
+        Ok(qc)
+    }
+
     /// Rebuild the AggregateTrie from the hit statistics: sort candidate
     /// cells by (score desc, level asc, key asc) and insert until the
     /// reserved area is filled (§3.6 "Determining Relevant Aggregates").

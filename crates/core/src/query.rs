@@ -370,7 +370,7 @@ mod tests {
     #[test]
     fn query_on_filtered_block() {
         let base = base_data(3000);
-        let f = Filter::on(&base, "w", gb_data::CmpOp::Lt, 3.0);
+        let f = Filter::on(&base, "w", gb_data::CmpOp::Lt, 3.0).unwrap();
         let (block, _) = build(&base, 8, &f);
         let poly = diamond(50.0, 50.0, 40.0);
         let covering = block.cover(&poly);

@@ -1,0 +1,677 @@
+//! GeoBlock persistence: snapshot encode/decode over the `gb_store`
+//! container.
+//!
+//! The paper's economics — an expensive one-time build (§3.3) amortized
+//! over arbitrarily many cheap queries, with a query cache *learned* from
+//! traffic (§3.6) — only survive a process restart if both artifacts can
+//! be saved and restored. A [`Snapshot`] captures:
+//!
+//! * the complete [`GeoBlock`] (schema, grid, global header, cell
+//!   aggregates, `dirty_offsets`),
+//! * optionally the current [`AggregateTrie`] — restoring it means a
+//!   restarted engine starts *warm*: queries hit the cache immediately
+//!   instead of paying the cold-start misses again,
+//! * optionally the §3.6 hit statistics, so post-restart rebuilds keep
+//!   adapting from everything learned before the restart.
+//!
+//! ## Sections (format version 1)
+//!
+//! | tag    | content |
+//! |--------|---------|
+//! | `SCHM` | column count, then per column: type tag, name |
+//! | `GRID` | domain rectangle (4 × f64 bits), curve tag |
+//! | `HDRS` | level, `dirty_offsets`, `n_rows`, min/max cell, global min/max/sum, **block content hash**, **state hash** |
+//! | `CELL` | keys, offsets, counts, leaf-key min/max, per-cell min/max/sum |
+//! | `TRIE` | (optional) root cell, node arrays, cached records |
+//! | `HITS` | (optional) hit-statistic key/count pairs |
+//!
+//! Every load re-derives two digests and compares them with the values
+//! stored at save time: [`GeoBlock::content_hash`] (cell arrays +
+//! header) and a *state hash* spanning everything `content_hash`
+//! excludes — grid, schema, trie, hit statistics. Per-section checksums
+//! catch flipped bits; the state hash catches sections *grafted*
+//! between two individually-valid snapshots. The round-trip gate
+//! ("loaded state ≡ saved state") is thus enforced by the loader
+//! itself, not just by tests. Decoding never panics: all failures
+//! surface as [`SnapshotError`].
+
+use crate::block::GeoBlock;
+use crate::trie::AggregateTrie;
+use gb_cell::{CellId, CurveKind, Grid};
+use gb_common::FxHashMap;
+use gb_data::{ColumnDef, ColumnType, Schema};
+use gb_geom::Rect;
+use gb_store::{ByteReader, ByteWriter, SectionTag, SnapshotReader, SnapshotWriter};
+use std::path::Path;
+
+pub use gb_store::SnapshotError;
+
+/// Current snapshot format version. Bump on any change to an existing
+/// section's encoding; adding new optional sections does not require a
+/// bump (readers skip unknown tags). See `DESIGN.md` "Persistence".
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const TAG_SCHEMA: SectionTag = SectionTag(*b"SCHM");
+const TAG_GRID: SectionTag = SectionTag(*b"GRID");
+const TAG_HEADER: SectionTag = SectionTag(*b"HDRS");
+const TAG_CELLS: SectionTag = SectionTag(*b"CELL");
+const TAG_TRIE: SectionTag = SectionTag(*b"TRIE");
+const TAG_HITS: SectionTag = SectionTag(*b"HITS");
+
+/// Digest over the *whole* snapshot state — block content plus the
+/// pieces [`GeoBlock::content_hash`] deliberately excludes (grid domain
+/// and curve, schema, trie, hit statistics). Stored in `HDRS` and
+/// re-derived at load: it is what makes a graft of one valid snapshot's
+/// `GRID`/`SCHM`/`TRIE`/`HITS` section onto another a typed error
+/// instead of silently wrong answers.
+fn state_hash(
+    block: &GeoBlock,
+    trie: Option<&AggregateTrie>,
+    hits: Option<&FxHashMap<u64, u64>>,
+) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = gb_common::FxHasher::default();
+    block.content_hash().hash(&mut h);
+    let d = block.grid().domain();
+    d.min.x.to_bits().hash(&mut h);
+    d.min.y.to_bits().hash(&mut h);
+    d.max.x.to_bits().hash(&mut h);
+    d.max.y.to_bits().hash(&mut h);
+    (block.grid().curve() == CurveKind::Morton).hash(&mut h);
+    for col in block.schema().columns() {
+        col.name.hash(&mut h);
+        (col.ty == ColumnType::I64).hash(&mut h);
+    }
+    match trie {
+        None => false.hash(&mut h),
+        Some(t) => {
+            true.hash(&mut h);
+            t.content_hash().hash(&mut h);
+        }
+    }
+    match hits {
+        None => false.hash(&mut h),
+        Some(hits) => {
+            true.hash(&mut h);
+            // Map order is nondeterministic: hash sorted pairs.
+            let mut pairs: Vec<(u64, u64)> = hits.iter().map(|(&k, &v)| (k, v)).collect();
+            pairs.sort_unstable();
+            pairs.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// A persistable unit: the block plus the optional learned cache state.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub block: GeoBlock,
+    /// The aggregate cache at save time; restoring it warm-starts the
+    /// query path.
+    pub trie: Option<AggregateTrie>,
+    /// The §3.6 hit statistics at save time; restoring them preserves
+    /// everything the cache sizing has learned.
+    pub hits: Option<FxHashMap<u64, u64>>,
+}
+
+impl Snapshot {
+    /// A block-only snapshot (cold cache on load).
+    pub fn new(block: GeoBlock) -> Self {
+        Snapshot {
+            block,
+            trie: None,
+            hits: None,
+        }
+    }
+
+    /// Borrowing view for serialization (no clones).
+    pub fn as_ref(&self) -> SnapshotRef<'_> {
+        SnapshotRef {
+            block: &self.block,
+            trie: self.trie.as_ref(),
+            hits: self.hits.as_ref(),
+        }
+    }
+
+    /// Serialize to the container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.as_ref().to_bytes()
+    }
+}
+
+/// Borrowed counterpart of [`Snapshot`]: serializes a block (and
+/// optional cache state) **without cloning it** — the save path on a
+/// serving engine must not double peak memory just to write a file.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotRef<'a> {
+    pub block: &'a GeoBlock,
+    pub trie: Option<&'a AggregateTrie>,
+    pub hits: Option<&'a FxHashMap<u64, u64>>,
+}
+
+impl SnapshotRef<'_> {
+    /// Serialize to the container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let b = self.block;
+        let mut out = SnapshotWriter::new();
+
+        let mut w = ByteWriter::new();
+        w.u32(b.schema.len() as u32);
+        for col in b.schema.columns() {
+            w.u8(match col.ty {
+                ColumnType::F64 => 0,
+                ColumnType::I64 => 1,
+            });
+            w.str(&col.name);
+        }
+        out.section(TAG_SCHEMA, w.into_inner());
+
+        let mut w = ByteWriter::new();
+        let d = b.grid.domain();
+        w.f64(d.min.x);
+        w.f64(d.min.y);
+        w.f64(d.max.x);
+        w.f64(d.max.y);
+        w.u8(match b.grid.curve() {
+            CurveKind::Hilbert => 0,
+            CurveKind::Morton => 1,
+        });
+        out.section(TAG_GRID, w.into_inner());
+
+        let mut w = ByteWriter::new();
+        w.u8(b.level);
+        w.u8(u8::from(b.dirty_offsets));
+        w.u64(b.n_rows);
+        w.u64(b.min_cell);
+        w.u64(b.max_cell);
+        w.f64_slice(&b.global_mins);
+        w.f64_slice(&b.global_maxs);
+        w.f64_slice(&b.global_sums);
+        w.u64(b.content_hash());
+        w.u64(state_hash(b, self.trie, self.hits));
+        out.section(TAG_HEADER, w.into_inner());
+
+        let mut w = ByteWriter::with_capacity(b.num_cells() * b.record_bytes());
+        w.u64_slice(&b.keys);
+        w.u64_slice(&b.offsets);
+        w.u32_slice(&b.counts);
+        w.u64_slice(&b.key_mins);
+        w.u64_slice(&b.key_maxs);
+        w.f64_slice(&b.mins);
+        w.f64_slice(&b.maxs);
+        w.f64_slice(&b.sums);
+        out.section(TAG_CELLS, w.into_inner());
+
+        if let Some(trie) = self.trie {
+            let parts = trie.to_raw_parts();
+            let mut w = ByteWriter::new();
+            w.u64(parts.root_cell.raw());
+            w.u32(parts.n_cols as u32);
+            w.u32_slice(&parts.first_children);
+            w.u32_slice(&parts.aggs);
+            w.u64_slice(parts.agg_counts);
+            w.f64_slice(parts.agg_values);
+            out.section(TAG_TRIE, w.into_inner());
+        }
+
+        if let Some(hits) = self.hits {
+            // Sorted for deterministic bytes: the same state always
+            // serializes identically, regardless of hash-map order.
+            let mut pairs: Vec<(u64, u64)> = hits.iter().map(|(&k, &v)| (k, v)).collect();
+            pairs.sort_unstable();
+            let mut w = ByteWriter::new();
+            w.u64_slice(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+            w.u64_slice(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+            out.section(TAG_HITS, w.into_inner());
+        }
+
+        out.into_bytes(SNAPSHOT_VERSION)
+    }
+
+    /// Serialize and write to `path` (atomic temp-file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        gb_store::write_atomic(path, &self.to_bytes())
+    }
+}
+
+impl Snapshot {
+    /// Decode and fully validate a snapshot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let reader = SnapshotReader::from_bytes(bytes, SNAPSHOT_VERSION)?;
+
+        let mut r = ByteReader::new(reader.require(TAG_SCHEMA)?, "section `SCHM`");
+        let n_cols = r.u32()? as usize;
+        let mut cols = Vec::new();
+        for _ in 0..n_cols {
+            let ty = match r.u8()? {
+                0 => ColumnType::F64,
+                1 => ColumnType::I64,
+                t => {
+                    return Err(SnapshotError::corrupt(format!(
+                        "unknown column type tag {t}"
+                    )))
+                }
+            };
+            let name = r.str()?;
+            cols.push(ColumnDef { name, ty });
+        }
+        r.finish()?;
+        let schema =
+            Schema::try_new(cols).map_err(|e| SnapshotError::corrupt(format!("schema: {e}")))?;
+
+        let mut r = ByteReader::new(reader.require(TAG_GRID)?, "section `GRID`");
+        let (x0, y0, x1, y1) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+        let curve = match r.u8()? {
+            0 => CurveKind::Hilbert,
+            1 => CurveKind::Morton,
+            t => return Err(SnapshotError::corrupt(format!("unknown curve tag {t}"))),
+        };
+        r.finish()?;
+        if !(x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite())
+            || x1 <= x0
+            || y1 <= y0
+        {
+            return Err(SnapshotError::corrupt(format!(
+                "grid domain [{x0}, {y0}] – [{x1}, {y1}] is not a positive rectangle"
+            )));
+        }
+        let grid = Grid::new(Rect::from_bounds(x0, y0, x1, y1), curve);
+
+        let mut r = ByteReader::new(reader.require(TAG_HEADER)?, "section `HDRS`");
+        let level = r.u8()?;
+        let dirty_offsets = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => {
+                return Err(SnapshotError::corrupt(format!(
+                    "bad dirty_offsets flag {t}"
+                )))
+            }
+        };
+        let n_rows = r.u64()?;
+        let min_cell = r.u64()?;
+        let max_cell = r.u64()?;
+        let global_mins = r.f64_vec()?;
+        let global_maxs = r.f64_vec()?;
+        let global_sums = r.f64_vec()?;
+        let stored_hash = r.u64()?;
+        let stored_state_hash = r.u64()?;
+        r.finish()?;
+
+        let mut r = ByteReader::new(reader.require(TAG_CELLS)?, "section `CELL`");
+        let keys = r.u64_vec()?;
+        let offsets = r.u64_vec()?;
+        let counts = r.u32_vec()?;
+        let key_mins = r.u64_vec()?;
+        let key_maxs = r.u64_vec()?;
+        let mins = r.f64_vec()?;
+        let maxs = r.f64_vec()?;
+        let sums = r.f64_vec()?;
+        r.finish()?;
+
+        let block = GeoBlock {
+            grid,
+            level,
+            schema,
+            keys,
+            offsets,
+            counts,
+            key_mins,
+            key_maxs,
+            mins,
+            maxs,
+            sums,
+            n_rows,
+            min_cell,
+            max_cell,
+            global_mins,
+            global_maxs,
+            global_sums,
+            dirty_offsets,
+        };
+        block
+            .validate()
+            .map_err(|e| SnapshotError::corrupt(format!("block: {e}")))?;
+        let actual = block.content_hash();
+        if actual != stored_hash {
+            return Err(SnapshotError::corrupt(format!(
+                "content hash mismatch: stored {stored_hash:#x}, decoded {actual:#x}"
+            )));
+        }
+
+        let trie = match reader.section(TAG_TRIE) {
+            None => None,
+            Some(payload) => {
+                let mut r = ByteReader::new(payload, "section `TRIE`");
+                let root_raw = r.u64()?;
+                let trie_cols = r.u32()? as usize;
+                let first_children = r.u32_vec()?;
+                let aggs = r.u32_vec()?;
+                let agg_counts = r.u64_vec()?;
+                let agg_values = r.f64_vec()?;
+                r.finish()?;
+                let root_cell = CellId::try_from_raw(root_raw).ok_or_else(|| {
+                    SnapshotError::corrupt(format!("malformed trie root cell {root_raw:#x}"))
+                })?;
+                if trie_cols != block.schema.len() {
+                    return Err(SnapshotError::corrupt(format!(
+                        "trie has {trie_cols} columns, block has {}",
+                        block.schema.len()
+                    )));
+                }
+                let trie = AggregateTrie::from_raw_parts(
+                    root_cell,
+                    trie_cols,
+                    first_children,
+                    aggs,
+                    agg_counts,
+                    agg_values,
+                )
+                .map_err(|e| SnapshotError::corrupt(format!("trie: {e}")))?;
+                Some(trie)
+            }
+        };
+
+        let hits = match reader.section(TAG_HITS) {
+            None => None,
+            Some(payload) => {
+                let mut r = ByteReader::new(payload, "section `HITS`");
+                let keys = r.u64_vec()?;
+                let counts = r.u64_vec()?;
+                r.finish()?;
+                if keys.len() != counts.len() {
+                    return Err(SnapshotError::corrupt(
+                        "hit-statistic key/count arrays disagree in length",
+                    ));
+                }
+                let mut map = FxHashMap::default();
+                for (&k, &v) in keys.iter().zip(&counts) {
+                    if CellId::try_from_raw(k).is_none() {
+                        return Err(SnapshotError::corrupt(format!(
+                            "malformed hit-statistic cell id {k:#x}"
+                        )));
+                    }
+                    if map.insert(k, v).is_some() {
+                        return Err(SnapshotError::corrupt(format!(
+                            "duplicate hit-statistic cell id {k:#x}"
+                        )));
+                    }
+                }
+                Some(map)
+            }
+        };
+
+        // Per-section checksums cannot catch sections *swapped* between
+        // two individually-valid snapshots, and the block content hash
+        // only covers HDRS + CELL. The state hash spans grid, schema,
+        // trie, and hit statistics too, so any cross-file graft fails
+        // here with a typed error instead of serving wrong answers.
+        let actual_state = state_hash(&block, trie.as_ref(), hits.as_ref());
+        if actual_state != stored_state_hash {
+            return Err(SnapshotError::corrupt(format!(
+                "state hash mismatch: stored {stored_state_hash:#x}, decoded {actual_state:#x} \
+                 (grid/schema/trie/hits section does not belong to this snapshot)"
+            )));
+        }
+        Ok(Snapshot { block, trie, hits })
+    }
+
+    /// Serialize and write to `path` (atomic temp-file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.as_ref().save(path)
+    }
+
+    /// Read and decode a snapshot file.
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+impl GeoBlock {
+    /// Persist this block (without cache state) to `path` — borrows, no
+    /// clone.
+    pub fn write_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        SnapshotRef {
+            block: self,
+            trie: None,
+            hits: None,
+        }
+        .save(path)
+    }
+
+    /// Load a block from a snapshot written by [`GeoBlock::write_snapshot`]
+    /// (or either cache-carrying variant — extra sections are ignored).
+    pub fn read_snapshot(path: &Path) -> Result<GeoBlock, SnapshotError> {
+        Ok(Snapshot::load(path)?.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use gb_data::{extract, CleaningRules, Filter, RawTable};
+    use gb_geom::Point;
+
+    fn block(n: usize, level: u8) -> GeoBlock {
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v"), ColumnDef::i64("k")]));
+        let mut state = 9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 10_000) as f64 / 100.0
+        };
+        for i in 0..n {
+            raw.push_row(
+                Point::new(next(), next()),
+                &[i as f64 - 7.5, (i % 5) as f64],
+            );
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        let base = extract(&raw, grid, &CleaningRules::none(), None).base;
+        build(&base, level, &Filter::all()).0
+    }
+
+    #[test]
+    fn block_roundtrips_bit_identically() {
+        let b = block(3000, 8);
+        let snap = Snapshot::new(b.clone());
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back.block.content_hash(), b.content_hash());
+        assert_eq!(back.block.num_cells(), b.num_cells());
+        assert_eq!(back.block.num_rows(), b.num_rows());
+        assert_eq!(back.block.schema(), b.schema());
+        assert_eq!(back.block.grid(), b.grid());
+        assert!(back.trie.is_none());
+        assert!(back.hits.is_none());
+        // Encoding is deterministic.
+        assert_eq!(bytes, Snapshot::new(back.block).to_bytes());
+    }
+
+    #[test]
+    fn dirty_offsets_survive_the_roundtrip() {
+        let mut b = block(1000, 7);
+        let mut batch = crate::update::UpdateBatch::new();
+        batch.push(Point::new(50.0, 50.0), vec![1.0, 2.0]);
+        batch.push(Point::new(99.0, 99.0), vec![3.0, 4.0]);
+        b.apply_updates(&batch);
+        assert!(b.dirty_offsets);
+        let back = Snapshot::from_bytes(&Snapshot::new(b.clone()).to_bytes()).unwrap();
+        assert!(back.block.dirty_offsets);
+        assert_eq!(back.block.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn header_hash_guards_against_cross_section_swaps() {
+        // Build two different blocks, then graft block A's CELL section
+        // onto block B's header: every per-section checksum still passes,
+        // but the stored content hash catches the mismatch.
+        let a = Snapshot::new(block(2000, 8)).to_bytes();
+        let b = Snapshot::new(block(2100, 8)).to_bytes();
+        let ra = SnapshotReader::from_bytes(&a, SNAPSHOT_VERSION).unwrap();
+        let rb = SnapshotReader::from_bytes(&b, SNAPSHOT_VERSION).unwrap();
+        let mut w = SnapshotWriter::new();
+        w.section(TAG_SCHEMA, ra.require(TAG_SCHEMA).unwrap().to_vec());
+        w.section(TAG_GRID, ra.require(TAG_GRID).unwrap().to_vec());
+        w.section(TAG_HEADER, ra.require(TAG_HEADER).unwrap().to_vec());
+        w.section(TAG_CELLS, rb.require(TAG_CELLS).unwrap().to_vec());
+        let franken = w.into_bytes(SNAPSHOT_VERSION);
+        let err = Snapshot::from_bytes(&franken).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn grid_graft_is_rejected_by_the_state_hash() {
+        // GeoBlock::content_hash deliberately excludes the grid, so a
+        // GRID section from another (individually valid) snapshot passes
+        // every per-section checksum AND the block content hash. The
+        // HDRS state hash must catch it — otherwise the engine would
+        // cover query polygons under the wrong curve/domain.
+        let b = block(800, 7);
+        let bytes = Snapshot::new(b).to_bytes();
+        let reader = SnapshotReader::from_bytes(&bytes, SNAPSHOT_VERSION).unwrap();
+        let mut w = SnapshotWriter::new();
+        for tag in reader.tags() {
+            if tag == TAG_GRID {
+                // Same domain, Morton instead of Hilbert.
+                let mut g = gb_store::ByteWriter::new();
+                g.f64(0.0);
+                g.f64(0.0);
+                g.f64(100.0);
+                g.f64(100.0);
+                g.u8(1);
+                w.section(TAG_GRID, g.into_inner());
+            } else {
+                w.section(tag, reader.require(tag).unwrap().to_vec());
+            }
+        }
+        let err = Snapshot::from_bytes(&w.into_bytes(SNAPSHOT_VERSION)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("state hash"), "{err}");
+    }
+
+    #[test]
+    fn trie_graft_is_rejected_by_the_state_hash() {
+        // Two snapshots of the same block with different cache states;
+        // grafting one's TRIE (or HITS) into the other must fail even
+        // though every section is individually valid.
+        let b = block(800, 7);
+        let root = crate::qc::root_cell_of(&b);
+        let trie_a = AggregateTrie::new(root, b.schema().len());
+        let mut trie_b = AggregateTrie::new(root, b.schema().len());
+        trie_b.insert(root, 5, &[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]);
+        let snap_a = Snapshot {
+            block: b.clone(),
+            trie: Some(trie_a),
+            hits: None,
+        };
+        let snap_b = Snapshot {
+            block: b,
+            trie: Some(trie_b),
+            hits: None,
+        };
+        let ra = SnapshotReader::from_bytes(&snap_a.to_bytes(), SNAPSHOT_VERSION).unwrap();
+        let rb = SnapshotReader::from_bytes(&snap_b.to_bytes(), SNAPSHOT_VERSION).unwrap();
+        let mut w = SnapshotWriter::new();
+        for tag in ra.tags() {
+            let payload = if tag == TAG_TRIE {
+                rb.require(tag).unwrap()
+            } else {
+                ra.require(tag).unwrap()
+            };
+            w.section(tag, payload.to_vec());
+        }
+        let err = Snapshot::from_bytes(&w.into_bytes(SNAPSHOT_VERSION)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("state hash"), "{err}");
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored() {
+        // Forward compatibility: a newer writer may add sections.
+        let b = block(500, 6);
+        let reader =
+            SnapshotReader::from_bytes(&Snapshot::new(b.clone()).to_bytes(), SNAPSHOT_VERSION)
+                .unwrap();
+        let mut w = SnapshotWriter::new();
+        for tag in reader.tags() {
+            w.section(tag, reader.require(tag).unwrap().to_vec());
+        }
+        w.section(SectionTag(*b"XTRA"), vec![1, 2, 3]);
+        let back = Snapshot::from_bytes(&w.into_bytes(SNAPSHOT_VERSION)).expect("extra ignored");
+        assert_eq!(back.block.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn file_roundtrip_via_geoblock_api() {
+        let dir = std::env::temp_dir().join("gb_snapshot_api_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("block.gbsnap");
+        let b = block(2000, 8);
+        b.write_snapshot(&path).expect("save");
+        let back = GeoBlock::read_snapshot(&path).expect("load");
+        assert_eq!(back.content_hash(), b.content_hash());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_typed_errors() {
+        let b = block(300, 6);
+        let snap = Snapshot::new(b);
+        let mut bytes = snap.to_bytes();
+        // Future version.
+        bytes[8] = 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion { .. }
+        ));
+        bytes[8] = 1;
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn no_byte_flip_panics_and_most_are_detected() {
+        // Exhaustive over a small snapshot: flipping any single byte must
+        // never panic, and must never yield a block with a different
+        // content hash (either it errors, or the flip was in an optional
+        // byte that doesn't change the decoded block — which cannot
+        // happen here since every byte is load-bearing).
+        let b = block(120, 5);
+        let hash = b.content_hash();
+        let bytes = Snapshot::new(b).to_bytes();
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x01;
+            match Snapshot::from_bytes(&m) {
+                Err(_) => {}
+                Ok(s) => {
+                    // Only reachable if the flip cancelled out — it can't.
+                    assert_eq!(
+                        s.block.content_hash(),
+                        hash,
+                        "silent corruption at byte {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_error_not_panic() {
+        let b = block(200, 6);
+        let bytes = Snapshot::new(b).to_bytes();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                Snapshot::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} parsed"
+            );
+        }
+    }
+}

@@ -26,6 +26,16 @@ struct TrieNode {
     agg: u32,
 }
 
+/// Flat, borrow-friendly view of a trie for the snapshot encoder.
+pub(crate) struct TrieRawParts<'a> {
+    pub root_cell: CellId,
+    pub n_cols: usize,
+    pub first_children: Vec<u32>,
+    pub aggs: Vec<u32>,
+    pub agg_counts: &'a [u64],
+    pub agg_values: &'a [f64],
+}
+
 /// The trie-shaped aggregate cache.
 #[derive(Debug, Clone)]
 pub struct AggregateTrie {
@@ -219,6 +229,95 @@ impl AggregateTrie {
             self.agg_values[base + c..base + 2 * c].copy_from_slice(maxs);
             self.agg_values[base + 2 * c..base + 3 * c].copy_from_slice(sums);
         }
+    }
+
+    /// A digest over the whole trie (structure + cached records, floats
+    /// by bit pattern) — the cache-side counterpart of
+    /// [`crate::GeoBlock::content_hash`], used by the persistence
+    /// round-trip gate to prove a loaded cache is bit-identical.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = gb_common::FxHasher::default();
+        self.root_cell.raw().hash(&mut h);
+        self.n_cols.hash(&mut h);
+        for n in &self.nodes {
+            n.first_child.hash(&mut h);
+            n.agg.hash(&mut h);
+        }
+        self.agg_counts.hash(&mut h);
+        for v in &self.agg_values {
+            v.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Decompose into flat arrays for the snapshot encoder: per-node
+    /// `first_child` and `agg` offsets, plus the aggregate storage.
+    pub(crate) fn to_raw_parts(&self) -> TrieRawParts<'_> {
+        TrieRawParts {
+            root_cell: self.root_cell,
+            n_cols: self.n_cols,
+            first_children: self.nodes.iter().map(|n| n.first_child).collect(),
+            aggs: self.nodes.iter().map(|n| n.agg).collect(),
+            agg_counts: &self.agg_counts,
+            agg_values: &self.agg_values,
+        }
+    }
+
+    /// Rebuild a trie from flat arrays (the snapshot decoder), validating
+    /// the structure so corrupt input yields an error instead of
+    /// out-of-bounds panics at query time.
+    pub(crate) fn from_raw_parts(
+        root_cell: CellId,
+        n_cols: usize,
+        first_children: Vec<u32>,
+        aggs: Vec<u32>,
+        agg_counts: Vec<u64>,
+        agg_values: Vec<f64>,
+    ) -> Result<AggregateTrie, String> {
+        let n = first_children.len();
+        if aggs.len() != n {
+            return Err("trie node arrays disagree in length".into());
+        }
+        if n == 0 || !(n - 1).is_multiple_of(4) {
+            return Err(format!("trie node count {n} is not 1 + 4k"));
+        }
+        let n_aggs = agg_counts.len();
+        if agg_values.len() != n_aggs * 3 * n_cols {
+            return Err(format!(
+                "trie aggregate storage must hold {} values, found {}",
+                n_aggs * 3 * n_cols,
+                agg_values.len()
+            ));
+        }
+        for (i, &fc) in first_children.iter().enumerate() {
+            if fc == NO_CHILD {
+                continue;
+            }
+            let fc = fc as usize;
+            // Child blocks are quartets appended after the root, so a
+            // valid pointer is 1 + 4m with the whole quartet in bounds.
+            if fc < 1 || !(fc - 1).is_multiple_of(4) || fc + 4 > n {
+                return Err(format!("trie node {i} has invalid child pointer {fc}"));
+            }
+        }
+        for (i, &a) in aggs.iter().enumerate() {
+            if a != NO_AGG && a as usize >= n_aggs {
+                return Err(format!("trie node {i} points past the aggregate storage"));
+            }
+        }
+        let nodes = first_children
+            .into_iter()
+            .zip(aggs)
+            .map(|(first_child, agg)| TrieNode { first_child, agg })
+            .collect();
+        Ok(AggregateTrie {
+            root_cell,
+            nodes,
+            n_cols,
+            agg_counts,
+            agg_values,
+        })
     }
 
     /// Apply one new tuple to every cached ancestor of `leaf` (the §5

@@ -326,6 +326,63 @@ mod tests {
     }
 
     #[test]
+    fn count_covering_fallback_after_mixed_batches() {
+        // Two batches mixing both §5 paths: the first adds tuples at
+        // existing locations (in-place) and in the empty right half (new
+        // cells); the second does it again, so offsets have been dirty
+        // across a splice. `count` and `count_covering` must both take
+        // the per-cell-count fallback and agree with hand-counted truth.
+        let base = base_data(2500);
+        let (mut block, _) = build(&base, 7, &Filter::all());
+        use gb_data::Rows;
+
+        let mut b1 = UpdateBatch::new();
+        b1.push(base.location(0), vec![10.0]); // in-place
+        b1.push(Point::new(80.0, 80.0), vec![20.0]); // new cell
+        b1.push(Point::new(60.0, 10.0), vec![30.0]); // new cell
+        let r1 = block.apply_updates(&b1);
+        assert!(r1.in_place >= 1 && r1.new_cells >= 1, "{r1:?}");
+
+        let mut b2 = UpdateBatch::new();
+        b2.push(base.location(1), vec![40.0]); // in-place
+        b2.push(Point::new(80.05, 80.05), vec![50.0]); // in-place (cell from b1)
+        b2.push(Point::new(95.0, 55.0), vec![60.0]); // new cell
+        let r2 = block.apply_updates(&b2);
+        assert!(r2.in_place >= 1 && r2.new_cells >= 1, "{r2:?}");
+        block.check_invariants();
+
+        // Ground truth over the covering: base rows + update tuples.
+        let grid = *block.grid();
+        let update_points = [
+            base.location(0),
+            Point::new(80.0, 80.0),
+            Point::new(60.0, 10.0),
+            base.location(1),
+            Point::new(80.05, 80.05),
+            Point::new(95.0, 55.0),
+        ];
+        for rect in [
+            Rect::from_bounds(-1.0, -1.0, 101.0, 101.0), // everything
+            Rect::from_bounds(50.0, 0.0, 100.0, 100.0),  // updated half
+            Rect::from_bounds(0.0, 0.0, 49.0, 49.0),     // original data
+        ] {
+            let poly = Polygon::rectangle(rect);
+            let covering = block.cover(&poly);
+            let want = (0..base.num_rows())
+                .filter(|&r| covering.contains(gb_cell::CellId::from_raw(base.keys()[r])))
+                .count() as u64
+                + update_points
+                    .iter()
+                    .filter(|&&p| covering.contains(grid.leaf_for_point(p)))
+                    .count() as u64;
+            let (cnt, _) = block.count(&poly);
+            assert_eq!(cnt, want, "count over {rect:?}");
+            let (cov_cnt, _) = block.count_covering(&covering);
+            assert_eq!(cov_cnt, want, "count_covering over {rect:?}");
+        }
+    }
+
+    #[test]
     fn qc_updates_refresh_cached_aggregates() {
         let base = base_data(2000);
         let (block, _) = build(&base, 6, &Filter::all());

@@ -75,8 +75,8 @@ fn parallel_build_equals_serial_build_byte_for_byte() {
         for level in [6u8, 9, 12] {
             for filter in [
                 Filter::all(),
-                Filter::on(&base, "w", CmpOp::Lt, 7.0),
-                Filter::on(&base, "w", CmpOp::Eq, 2.0),
+                Filter::on(&base, "w", CmpOp::Lt, 7.0).unwrap(),
+                Filter::on(&base, "w", CmpOp::Eq, 2.0).unwrap(),
             ] {
                 let (serial, _) = build(&base, level, &filter);
                 for threads in [2usize, 4, 8] {

@@ -135,11 +135,70 @@ proptest! {
         threshold in -3.0f64..150.0,
     ) {
         let base = make_base(&points);
-        let filter = Filter::on(&base, "v", gb_data::CmpOp::Ge, threshold);
+        let filter = Filter::on(&base, "v", gb_data::CmpOp::Ge, threshold).unwrap();
         let expected = filter.matching_rows(&base).len() as u64;
         let (block, _) = build(&base, 9, &filter);
         prop_assert_eq!(block.num_rows(), expected);
         block.check_invariants();
+    }
+
+    /// §5 COUNT fallback: after mixed in-place/new-cell batches set
+    /// `dirty_offsets`, the offset-arithmetic shortcut is invalid and
+    /// COUNT must sum per-cell counts — and still equal ground truth
+    /// (base rows + update rows inside the covering), via both `count`
+    /// and `count_covering`.
+    #[test]
+    fn mixed_update_batches_count_matches_ground_truth(
+        points in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 40..250),
+        batches in prop::collection::vec(
+            prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 1..25),
+            1..4,
+        ),
+        seeds in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 3..8),
+        level in 5u8..10,
+    ) {
+        prop_assume!(make_polygon(&seeds).is_some());
+        let poly = make_polygon(&seeds).unwrap();
+        let base = make_base(&points);
+        let (mut block, _) = build(&base, level, &Filter::all());
+        let grid = *block.grid();
+
+        let mut update_leaves: Vec<CellId> = Vec::new();
+        let mut saw_in_place = false;
+        let mut saw_new_cell = false;
+        for batch_pts in &batches {
+            let mut batch = geoblocks::UpdateBatch::new();
+            for &(x, y) in batch_pts {
+                let p = Point::new(x, y);
+                batch.push(p, vec![1.5, 2.0]);
+                update_leaves.push(grid.leaf_for_point(p));
+            }
+            let report = block.apply_updates(&batch);
+            saw_in_place |= report.in_place > 0;
+            saw_new_cell |= report.new_cells > 0;
+        }
+        // The generator covers both §5 paths across the run set; any
+        // single case exercises at least one.
+        prop_assert!(saw_in_place || saw_new_cell);
+        block.check_invariants();
+
+        let covering = block.cover(&poly);
+        // Ground truth: base rows plus update tuples inside the covering.
+        let from_base = (0..base.num_rows())
+            .filter(|&r| covering.contains(CellId::from_raw(base.keys()[r])))
+            .count() as u64;
+        let from_updates = update_leaves
+            .iter()
+            .filter(|&&leaf| covering.contains(leaf))
+            .count() as u64;
+        let want = from_base + from_updates;
+
+        let (via_count, _) = block.count(&poly);
+        prop_assert_eq!(via_count, want, "count fallback diverged from ground truth");
+        let (via_covering, _) = block.count_covering(&covering);
+        prop_assert_eq!(via_covering, want, "count_covering fallback diverged");
+        let (sel, _) = block.select(&poly, &AggSpec::count_only());
+        prop_assert_eq!(sel.count, want, "select count diverged after updates");
     }
 
     #[test]

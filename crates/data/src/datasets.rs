@@ -369,16 +369,21 @@ pub fn osm_americas(n: usize, seed: u64) -> Dataset {
 }
 
 /// Distribution helper exposed for tests: empirical selectivity of a
-/// threshold on a generated column.
-pub fn empirical_selectivity(ds: &Dataset, column: &str, f: impl Fn(f64) -> bool) -> f64 {
+/// threshold on a generated column. [`crate::DataError::UnknownColumn`]
+/// for a column not in the dataset's schema (this used to `expect`).
+pub fn empirical_selectivity(
+    ds: &Dataset,
+    column: &str,
+    f: impl Fn(f64) -> bool,
+) -> Result<f64, crate::DataError> {
     use crate::table::Rows;
-    let idx = ds.raw.schema().index_of(column).expect("column exists");
+    let idx = ds.raw.schema().require(column)?;
     let n = ds.raw.num_rows();
     if n == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let hits = (0..n).filter(|&r| f(ds.raw.value_f64(r, idx))).count();
-    hits as f64 / n as f64
+    Ok(hits as f64 / n as f64)
 }
 
 #[cfg(test)]
@@ -402,12 +407,15 @@ mod tests {
     #[test]
     fn taxi_filter_selectivities_match_paper() {
         let ds = nyc_taxi(40_000, 7);
-        let s_dist = empirical_selectivity(&ds, "trip_distance", |d| d >= 4.0);
-        let s_solo = empirical_selectivity(&ds, "passenger_cnt", |p| p == 1.0);
-        let s_shared = empirical_selectivity(&ds, "passenger_cnt", |p| p > 1.0);
+        let s_dist = empirical_selectivity(&ds, "trip_distance", |d| d >= 4.0).unwrap();
+        let s_solo = empirical_selectivity(&ds, "passenger_cnt", |p| p == 1.0).unwrap();
+        let s_shared = empirical_selectivity(&ds, "passenger_cnt", |p| p > 1.0).unwrap();
         assert!((s_dist - 0.16).abs() < 0.03, "distance>=4 sel {s_dist}");
         assert!((s_solo - 0.70).abs() < 0.03, "pax==1 sel {s_solo}");
         assert!((s_shared - 0.30).abs() < 0.03, "pax>1 sel {s_shared}");
+        // Unknown columns surface as typed errors, not panics.
+        let err = empirical_selectivity(&ds, "no_such_column", |_| true).unwrap_err();
+        assert!(err.to_string().contains("no_such_column"));
     }
 
     #[test]
@@ -427,7 +435,7 @@ mod tests {
     #[test]
     fn taxi_contains_dirty_rows() {
         let ds = nyc_taxi(50_000, 3);
-        let dirty = empirical_selectivity(&ds, "fare_amount", |f| f < 0.0);
+        let dirty = empirical_selectivity(&ds, "fare_amount", |f| f < 0.0).unwrap();
         let outside = (0..ds.raw.num_rows())
             .filter(|&r| !nyc_domain().contains_point(ds.raw.location(r)))
             .count();
@@ -456,8 +464,8 @@ mod tests {
         let ds = nyc_taxi(1_000, 9);
         let s = ds.raw.schema();
         let (pi, di) = (
-            s.index_of("pickup_time").unwrap(),
-            s.index_of("dropoff_time").unwrap(),
+            s.require("pickup_time").unwrap(),
+            s.require("dropoff_time").unwrap(),
         );
         for r in 0..1000 {
             assert!(ds.raw.value_f64(r, di) > ds.raw.value_f64(r, pi));

@@ -1,0 +1,47 @@
+//! Typed errors for the data substrate.
+//!
+//! A serving engine must treat a malformed filter or schema as a bad
+//! *request*, not a reason to die: the old `panic!("no column named …")`
+//! in [`crate::Filter::on`] took the whole process down with one typo.
+//! Fallible lookups now return [`DataError`] and callers decide — repro
+//! binaries print the message and exit 1, tests `unwrap()`, servers would
+//! map it to a 4xx.
+
+use std::fmt;
+
+/// An invalid schema, filter, or column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column name that does not exist in the schema.
+    UnknownColumn { column: String },
+    /// Two columns in one schema share a name.
+    DuplicateColumn { column: String },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownColumn { column } => write!(f, "no column named {column:?}"),
+            DataError::DuplicateColumn { column } => {
+                write!(f, "duplicate column name {column:?} in schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = DataError::UnknownColumn {
+            column: "velocity".into(),
+        };
+        assert!(e.to_string().contains("velocity"));
+        let e = DataError::DuplicateColumn { column: "a".into() };
+        assert!(e.to_string().contains("duplicate"));
+    }
+}

@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn extract_filtered_prefilters() {
         let t = raw();
-        let f = Filter::on(&t, "v", CmpOp::Ge, 2.0);
+        let f = Filter::on(&t, "v", CmpOp::Ge, 2.0).unwrap();
         let ex = extract_filtered(&t, grid(), &CleaningRules::none(), &f, None);
         // Row 0 (v=1) and row 4 (v=-7) removed on top of the dirty rows.
         assert_eq!(ex.base.num_rows(), 2);

@@ -5,6 +5,7 @@
 //! `passenger_cnt == 1`). A [`Filter`] is a conjunction of per-column
 //! comparisons, evaluated row-at-a-time against any [`Rows`] table.
 
+use crate::error::DataError;
 use crate::table::Rows;
 
 /// Comparison operator of a predicate.
@@ -83,12 +84,18 @@ impl Filter {
     }
 
     /// Convenience: a single-predicate filter built by column name.
-    pub fn on<T: Rows + ?Sized>(table: &T, column: &str, op: CmpOp, value: f64) -> Self {
-        let idx = table
-            .schema()
-            .index_of(column)
-            .unwrap_or_else(|| panic!("no column named {column:?}"));
-        Filter::new(vec![Predicate::new(idx, op, value)])
+    ///
+    /// Returns [`DataError::UnknownColumn`] for a name missing from the
+    /// table's schema. (This used to panic — one malformed filter string
+    /// would kill a serving process.)
+    pub fn on<T: Rows + ?Sized>(
+        table: &T,
+        column: &str,
+        op: CmpOp,
+        value: f64,
+    ) -> Result<Self, DataError> {
+        let idx = table.schema().require(column)?;
+        Ok(Filter::new(vec![Predicate::new(idx, op, value)]))
     }
 
     /// The predicates.
@@ -159,7 +166,7 @@ mod tests {
     #[test]
     fn single_predicate() {
         let t = table();
-        let f = Filter::on(&t, "dist", CmpOp::Ge, 4.0);
+        let f = Filter::on(&t, "dist", CmpOp::Ge, 4.0).unwrap();
         assert_eq!(f.matching_rows(&t), vec![1, 2, 4]);
         assert!((f.selectivity(&t) - 0.6).abs() < 1e-12);
     }
@@ -187,23 +194,33 @@ mod tests {
     fn all_operators() {
         let t = table();
         assert_eq!(
-            Filter::on(&t, "pax", CmpOp::Eq, 1.0).matching_rows(&t),
+            Filter::on(&t, "pax", CmpOp::Eq, 1.0)
+                .unwrap()
+                .matching_rows(&t),
             vec![0, 2, 4]
         );
         assert_eq!(
-            Filter::on(&t, "pax", CmpOp::Ne, 1.0).matching_rows(&t),
+            Filter::on(&t, "pax", CmpOp::Ne, 1.0)
+                .unwrap()
+                .matching_rows(&t),
             vec![1, 3]
         );
         assert_eq!(
-            Filter::on(&t, "pax", CmpOp::Gt, 1.0).matching_rows(&t),
+            Filter::on(&t, "pax", CmpOp::Gt, 1.0)
+                .unwrap()
+                .matching_rows(&t),
             vec![1, 3]
         );
         assert_eq!(
-            Filter::on(&t, "dist", CmpOp::Lt, 1.0).matching_rows(&t),
+            Filter::on(&t, "dist", CmpOp::Lt, 1.0)
+                .unwrap()
+                .matching_rows(&t),
             vec![3]
         );
         assert_eq!(
-            Filter::on(&t, "dist", CmpOp::Le, 1.0).matching_rows(&t),
+            Filter::on(&t, "dist", CmpOp::Le, 1.0)
+                .unwrap()
+                .matching_rows(&t),
             vec![0, 3]
         );
     }
@@ -219,9 +236,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no column named")]
-    fn unknown_column_panics() {
+    fn unknown_column_is_a_typed_error_not_a_panic() {
         let t = table();
-        Filter::on(&t, "missing", CmpOp::Eq, 0.0);
+        let err = Filter::on(&t, "missing", CmpOp::Eq, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            crate::DataError::UnknownColumn {
+                column: "missing".into()
+            }
+        );
+        assert!(err.to_string().contains("missing"));
     }
 }

@@ -4,6 +4,7 @@
 //! substitution rationale).
 
 pub mod datasets;
+pub mod error;
 pub mod extract;
 pub mod filter;
 pub mod polygons;
@@ -11,6 +12,7 @@ pub mod schema;
 pub mod table;
 pub mod workload;
 
+pub use error::DataError;
 pub use extract::{extract, extract_filtered, CleaningRules, Extract, ExtractStats};
 pub use filter::{CmpOp, Filter, Predicate};
 pub use schema::{ColumnDef, ColumnType, Schema};

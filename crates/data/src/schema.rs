@@ -44,12 +44,27 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// Construct a schema, panicking on duplicate names — for trusted,
+    /// programmatic construction. Untrusted input (snapshot files, user
+    /// configuration) should go through [`Schema::try_new`].
     pub fn new(columns: Vec<ColumnDef>) -> Self {
-        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), columns.len(), "duplicate column names");
-        Schema { columns }
+        match Schema::try_new(columns) {
+            Ok(s) => s,
+            Err(e) => panic!("duplicate column names: {e}"),
+        }
+    }
+
+    /// Construct a schema, returning [`crate::DataError::DuplicateColumn`]
+    /// when two columns share a name.
+    pub fn try_new(columns: Vec<ColumnDef>) -> Result<Self, crate::DataError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(crate::DataError::DuplicateColumn {
+                    column: c.name.clone(),
+                });
+            }
+        }
+        Ok(Schema { columns })
     }
 
     /// Number of attribute columns.
@@ -74,6 +89,16 @@ impl Schema {
         self.columns.iter().position(|c| c.name == name)
     }
 
+    /// Like [`Schema::index_of`], but a typed error for the miss — use
+    /// this wherever the name comes from outside the program (queries,
+    /// CLI flags, files) so the failure is reportable, not a panic.
+    pub fn require(&self, name: &str) -> Result<usize, crate::DataError> {
+        self.index_of(name)
+            .ok_or_else(|| crate::DataError::UnknownColumn {
+                column: name.to_string(),
+            })
+    }
+
     /// Definition at `idx`.
     pub fn column(&self, idx: usize) -> &ColumnDef {
         &self.columns[idx]
@@ -92,6 +117,23 @@ mod tests {
         assert_eq!(s.index_of("passengers"), Some(1));
         assert_eq!(s.index_of("nope"), None);
         assert_eq!(s.column(1).ty, ColumnType::I64);
+        assert_eq!(s.require("fare"), Ok(0));
+        assert_eq!(
+            s.require("nope"),
+            Err(crate::DataError::UnknownColumn {
+                column: "nope".into()
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_reports_duplicates() {
+        let err = Schema::try_new(vec![ColumnDef::f64("a"), ColumnDef::i64("a")]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::DataError::DuplicateColumn { column: "a".into() }
+        );
+        assert!(Schema::try_new(vec![ColumnDef::f64("a"), ColumnDef::i64("b")]).is_ok());
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! A versioned, checksummed binary container for GeoBlocks snapshots.
+//!
+//! The paper positions GeoBlocks as "built once, queried forever" (§3
+//! build, §4 query cache) — which only holds across process restarts if
+//! the built block (and the learned AggregateTrie) can be persisted. This
+//! crate provides the *container*: a small section-based binary format
+//! with a magic number, a format version, and a checksum per section, so
+//! a load can always fail with a typed [`SnapshotError`] instead of a
+//! panic or a silently corrupt block. What goes *into* the sections
+//! (block arrays, trie layout, hit statistics) is defined by the
+//! `geoblocks` crate on top of the [`ByteWriter`]/[`ByteReader`]
+//! primitives here.
+//!
+//! ## Layout
+//!
+//! ```text
+//! header:   magic [8]  = "GBSNAP\r\n"
+//!           version u16 LE
+//!           flags   u16 LE (reserved, must be 0)
+//!           count   u32 LE (number of sections)
+//! section:  tag     [4]    (ASCII, e.g. "CELL")
+//!           len     u64 LE (payload bytes)
+//!           check   u64 LE (FNV-1a 64 of the payload)
+//!           payload [len]
+//! ```
+//!
+//! Sections are self-describing and order-independent; readers skip
+//! unknown tags, which is the forward-compatibility escape hatch: a newer
+//! writer may append new sections without bumping the version, while any
+//! change to an *existing* section's encoding must bump
+//! the version (see `DESIGN.md` "Persistence" for the policy).
+//!
+//! All integers are little-endian; all multi-byte values go through
+//! explicit `to_le_bytes`/`from_le_bytes`, so snapshots are portable
+//! across architectures. Floats are stored by bit pattern (NaN payloads
+//! and signed zeros survive), which is what makes the round-trip gate
+//! (`content_hash` equality) exact.
+
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte magic prefix of every snapshot file. The `\r\n` tail makes
+/// accidental newline translation detectable, FTP-lore style.
+pub const MAGIC: [u8; 8] = *b"GBSNAP\r\n";
+
+/// Errors of the snapshot load/save path. Loading never panics: wrong
+/// magic, unsupported versions, flipped bits, and truncated files all
+/// surface here.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The snapshot's format version is newer than this build understands.
+    UnsupportedVersion { found: u16, supported: u16 },
+    /// Reserved header flags were non-zero (written by an incompatible
+    /// producer).
+    BadFlags(u16),
+    /// A section's payload does not match its stored checksum.
+    ChecksumMismatch { section: SectionTag },
+    /// The file ended before the advertised content did.
+    Truncated { context: &'static str },
+    /// A section required by the decoder is absent.
+    MissingSection { section: SectionTag },
+    /// The same section tag appears twice.
+    DuplicateSection { section: SectionTag },
+    /// The bytes parsed but describe an impossible structure (unsorted
+    /// keys, out-of-range indices, mismatched lengths, …).
+    Corrupt { context: String },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a GeoBlocks snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads up to {supported})"
+            ),
+            SnapshotError::BadFlags(flags) => {
+                write!(f, "reserved snapshot header flags set: {flags:#06x}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section {section}")
+            }
+            SnapshotError::DuplicateSection { section } => {
+                write!(f, "snapshot contains duplicate section {section}")
+            }
+            SnapshotError::Corrupt { context } => write!(f, "snapshot corrupt: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl SnapshotError {
+    /// Shorthand for a [`SnapshotError::Corrupt`] with a formatted context.
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        SnapshotError::Corrupt {
+            context: context.into(),
+        }
+    }
+}
+
+/// A four-byte ASCII section identifier (e.g. `b"CELL"`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SectionTag(pub [u8; 4]);
+
+impl fmt::Display for SectionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) => write!(f, "`{s}`"),
+            Err(_) => write!(f, "{:02x?}", self.0),
+        }
+    }
+}
+
+impl fmt::Debug for SectionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// FNV-1a 64-bit — the section checksum. Deliberately simple and
+/// self-contained: the goal is corruption *detection* with a stable,
+/// documented algorithm, not cryptographic integrity.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds a snapshot in memory: header + checksummed sections.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(SectionTag, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    pub fn new() -> Self {
+        SnapshotWriter::default()
+    }
+
+    /// Append a section. Tags must be unique; re-adding one is a caller
+    /// bug (it would trip the reader's duplicate check on load).
+    pub fn section(&mut self, tag: SectionTag, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|(t, _)| *t != tag),
+            "duplicate snapshot section {tag}"
+        );
+        self.sections.push((tag, payload));
+    }
+
+    /// Serialize the container for `version`.
+    pub fn into_bytes(self, version: u16) -> Vec<u8> {
+        let total: usize = self
+            .sections
+            .iter()
+            .map(|(_, p)| 4 + 8 + 8 + p.len())
+            .sum::<usize>()
+            + MAGIC.len()
+            + 8;
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&version.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(&tag.0);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Serialize and write to `path` via [`write_atomic`].
+    pub fn write_to(self, path: &Path, version: u16) -> Result<(), SnapshotError> {
+        write_atomic(path, &self.into_bytes(version))
+    }
+}
+
+/// Write `bytes` to `path` through a sibling temp file + rename, so a
+/// crash mid-write never leaves a half-written snapshot behind the final
+/// name. Shared by [`SnapshotWriter::write_to`] and the higher-level
+/// snapshot `save` paths.
+///
+/// The temp name appends to the full file name (never replaces an
+/// extension) and carries the pid plus a process-wide counter, so
+/// concurrent saves — to the same path or to same-stem siblings like
+/// `a.gbsnap` / `a.bak` — each write their own temp file and the rename
+/// stays atomic instead of interleaving two byte streams.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            SnapshotError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("snapshot path {path:?} has no file name"),
+            ))
+        })?
+        .to_os_string();
+    let mut tmp_name = file_name;
+    tmp_name.push(format!(
+        ".{}-{}.tmp-gbsnap",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })?;
+    Ok(())
+}
+
+/// A parsed snapshot container: validated header + checksummed sections.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    version: u16,
+    sections: Vec<(SectionTag, Vec<u8>)>,
+}
+
+impl SnapshotReader {
+    /// Parse a container, validating magic, version, flags, section
+    /// framing, and every section checksum.
+    ///
+    /// `max_version` is the newest format version the caller understands;
+    /// anything newer is rejected up front rather than misdecoded.
+    pub fn from_bytes(bytes: &[u8], max_version: u16) -> Result<SnapshotReader, SnapshotError> {
+        let mut r = ByteReader::new(bytes, "snapshot header");
+        let magic = r.bytes(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version > max_version {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: max_version,
+            });
+        }
+        let flags = r.u16()?;
+        if flags != 0 {
+            return Err(SnapshotError::BadFlags(flags));
+        }
+        let count = r.u32()? as usize;
+
+        let mut sections: Vec<(SectionTag, Vec<u8>)> = Vec::new();
+        for _ in 0..count {
+            let mut tag = [0u8; 4];
+            tag.copy_from_slice(r.bytes(4)?);
+            let tag = SectionTag(tag);
+            let len = r.u64()?;
+            let check = r.u64()?;
+            let len = usize::try_from(len).map_err(|_| SnapshotError::Truncated {
+                context: "section length",
+            })?;
+            let payload = r.bytes(len)?;
+            if fnv1a64(payload) != check {
+                return Err(SnapshotError::ChecksumMismatch { section: tag });
+            }
+            if sections.iter().any(|(t, _)| *t == tag) {
+                return Err(SnapshotError::DuplicateSection { section: tag });
+            }
+            sections.push((tag, payload.to_vec()));
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::corrupt(format!(
+                "{} trailing bytes after the last section",
+                r.remaining()
+            )));
+        }
+        Ok(SnapshotReader { version, sections })
+    }
+
+    /// Read and parse a snapshot file.
+    pub fn read_from(path: &Path, max_version: u16) -> Result<SnapshotReader, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        SnapshotReader::from_bytes(&bytes, max_version)
+    }
+
+    /// The container's format version.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// A section's payload, if present.
+    pub fn section(&self, tag: SectionTag) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// A section's payload, or [`SnapshotError::MissingSection`].
+    pub fn require(&self, tag: SectionTag) -> Result<&[u8], SnapshotError> {
+        self.section(tag)
+            .ok_or(SnapshotError::MissingSection { section: tag })
+    }
+
+    /// All section tags, in file order (unknown tags included).
+    pub fn tags(&self) -> impl Iterator<Item = SectionTag> + '_ {
+        self.sections.iter().map(|(t, _)| *t)
+    }
+}
+
+/// Little-endian primitive encoder for section payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Stored by bit pattern: NaNs and signed zeros round-trip exactly.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Length-prefixed (u32) UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed (u64 count) slice of u64s.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Length-prefixed (u64 count) slice of u32s.
+    pub fn u32_slice(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Length-prefixed (u64 count) slice of f64 bit patterns.
+    pub fn f64_slice(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian decoder: every read returns
+/// [`SnapshotError::Truncated`] past the end instead of panicking, and
+/// length prefixes are validated against the remaining bytes before any
+/// allocation (a corrupt 2⁶⁰-element length cannot OOM the loader).
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Static context reported by truncation errors ("section `CELL`").
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8], context: &'static str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(SnapshotError::Truncated {
+                context: self.context,
+            }),
+        }
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length prefix for elements of `elem_bytes` each, validated
+    /// against the remaining payload before returning.
+    fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).ok().filter(|&n| {
+            n.checked_mul(elem_bytes)
+                .is_some_and(|total| total <= self.remaining())
+        });
+        n.ok_or(SnapshotError::Truncated {
+            context: self.context,
+        })
+    }
+
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(SnapshotError::Truncated {
+                context: self.context,
+            });
+        }
+        String::from_utf8(self.bytes(n)?.to_vec())
+            .map_err(|_| SnapshotError::corrupt(format!("invalid UTF-8 in {}", self.context)))
+    }
+
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let n = self.len_prefix(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Error unless every payload byte was consumed — catches encoder /
+    /// decoder drift within a section.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::corrupt(format!(
+                "{} unread bytes at the end of {}",
+                self.remaining(),
+                self.context
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: u16 = 3;
+    const TAG_A: SectionTag = SectionTag(*b"AAAA");
+    const TAG_B: SectionTag = SectionTag(*b"BBBB");
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(TAG_A, vec![1, 2, 3, 4, 5]);
+        w.section(TAG_B, Vec::new());
+        w.into_bytes(V)
+    }
+
+    #[test]
+    fn roundtrip_container() {
+        let bytes = sample();
+        let r = SnapshotReader::from_bytes(&bytes, V).expect("parses");
+        assert_eq!(r.version(), V);
+        assert_eq!(r.section(TAG_A), Some(&[1u8, 2, 3, 4, 5][..]));
+        assert_eq!(r.section(TAG_B), Some(&[][..]));
+        assert_eq!(r.section(SectionTag(*b"ZZZZ")), None);
+        assert!(matches!(
+            r.require(SectionTag(*b"ZZZZ")),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+        assert_eq!(r.tags().count(), 2);
+    }
+
+    #[test]
+    fn older_versions_are_accepted() {
+        let r = SnapshotReader::from_bytes(&sample(), V + 5).expect("older version readable");
+        assert_eq!(r.version(), V);
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let err = SnapshotReader::from_bytes(&sample(), V - 1).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::UnsupportedVersion {
+                found: 3,
+                supported: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            SnapshotReader::from_bytes(&bytes, V).unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+        // A totally unrelated file is also "bad magic", not a panic.
+        assert!(matches!(
+            SnapshotReader::from_bytes(b"hello world, not a snapshot", V).unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn reserved_flags_are_rejected() {
+        let mut bytes = sample();
+        bytes[10] = 0x01; // flags LSB
+        assert!(matches!(
+            SnapshotReader::from_bytes(&bytes, V).unwrap_err(),
+            SnapshotError::BadFlags(1)
+        ));
+    }
+
+    #[test]
+    fn every_payload_bitflip_is_detected() {
+        let bytes = sample();
+        // Flip each payload byte of section A (it starts after header 16
+        // + tag 4 + len 8 + check 8).
+        for i in 36..41 {
+            let mut b = bytes.clone();
+            b[i] ^= 0x20;
+            assert!(
+                matches!(
+                    SnapshotReader::from_bytes(&b, V).unwrap_err(),
+                    SnapshotError::ChecksumMismatch { section } if section == TAG_A
+                ),
+                "flip at byte {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_errors_not_panics() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::from_bytes(&bytes[..cut], V)
+                .expect_err("truncated snapshot must not parse");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::BadMagic
+                        | SnapshotError::Truncated { .. }
+                        | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample();
+        bytes.push(0xAB);
+        assert!(matches!(
+            SnapshotReader::from_bytes(&bytes, V).unwrap_err(),
+            SnapshotError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_sections_are_rejected() {
+        // Hand-build a container with the same tag twice.
+        let mut w = SnapshotWriter::new();
+        w.section(TAG_A, vec![1]);
+        let mut bytes = w.into_bytes(V);
+        // Bump the count and append a second copy of section A.
+        bytes[12] = 2;
+        let tail: Vec<u8> = bytes[16..].to_vec();
+        bytes.extend_from_slice(&tail);
+        assert!(matches!(
+            SnapshotReader::from_bytes(&bytes, V).unwrap_err(),
+            SnapshotError::DuplicateSection { section } if section == TAG_A
+        ));
+    }
+
+    #[test]
+    fn huge_length_prefix_cannot_allocate() {
+        // A payload claiming 2^60 u64s must fail the bounds check before
+        // any allocation happens.
+        let mut w = ByteWriter::new();
+        w.u64(1u64 << 60);
+        let payload = w.into_inner();
+        let mut r = ByteReader::new(&payload, "test");
+        assert!(matches!(
+            r.u64_vec().unwrap_err(),
+            SnapshotError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(65_000);
+        w.u32(4_000_000_000);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.str("héllo");
+        w.u64_slice(&[1, 2, 3]);
+        w.u32_slice(&[9, 8]);
+        w.f64_slice(&[1.5, f64::INFINITY]);
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65_000);
+        assert_eq!(r.u32().unwrap(), 4_000_000_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u32_vec().unwrap(), vec![9, 8]);
+        assert_eq!(r.f64_vec().unwrap(), vec![1.5, f64::INFINITY]);
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn unread_bytes_are_flagged() {
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        w.u8(2);
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf, "test");
+        r.u64().unwrap();
+        assert!(matches!(
+            r.finish().unwrap_err(),
+            SnapshotError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join("gb_store_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.gb");
+        let mut w = SnapshotWriter::new();
+        w.section(TAG_A, vec![42; 1000]);
+        w.write_to(&path, V).expect("write");
+        // No temp file left behind.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".tmp-gbsnap")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "temp files left behind");
+        let r = SnapshotReader::read_from(&path, V).expect("read");
+        assert_eq!(r.section(TAG_A).unwrap().len(), 1000);
+        // Concurrent saves to the same path must not corrupt it: each
+        // writer uses its own temp file, the last rename wins.
+        std::thread::scope(|s| {
+            for fill in 0u8..4 {
+                let path = &path;
+                s.spawn(move || {
+                    let mut w = SnapshotWriter::new();
+                    w.section(TAG_A, vec![fill; 4096]);
+                    w.write_to(path, V).expect("concurrent write");
+                });
+            }
+        });
+        let r = SnapshotReader::read_from(&path, V).expect("readable after racing saves");
+        let payload = r.section(TAG_A).unwrap();
+        assert_eq!(payload.len(), 4096);
+        assert!(
+            payload.windows(2).all(|w| w[0] == w[1]),
+            "interleaved bytes"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err =
+            SnapshotReader::read_from(Path::new("/nonexistent/geoblocks.snap"), V).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

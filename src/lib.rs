@@ -8,6 +8,7 @@
 //! * [`geoblocks`] — the core data structure (blocks, trie cache, queries),
 //! * [`gb_cell`] / [`gb_geom`] — spatial substrates,
 //! * [`gb_data`] — columnar tables, extract phase, synthetic datasets,
+//! * [`gb_store`] — versioned snapshot container (persistence),
 //! * [`gb_btree`] / [`gb_phtree`] / [`gb_artree`] — baseline substrates,
 //! * [`gb_baselines`] — the unified evaluation interface.
 
@@ -19,4 +20,5 @@ pub use gb_common;
 pub use gb_data;
 pub use gb_geom;
 pub use gb_phtree;
+pub use gb_store;
 pub use geoblocks;
