@@ -11,7 +11,7 @@ use gb_btree::BPlusTree;
 use gb_cell::{cover_polygon, CovererOptions};
 use gb_data::{AggSpec, BaseTable, Rows};
 use gb_geom::Polygon;
-use geoblocks::AggResult;
+use geoblocks::{AggPlan, AggResult};
 use std::time::Duration;
 
 /// The simplest baseline: binary search on the sorted base data per
@@ -33,6 +33,8 @@ impl<'a> BinarySearchIndex<'a> {
             polygon,
             CovererOptions::at_level(self.level),
         );
+        // Spec resolved once per query, like the GeoBlock paths.
+        let plan = AggPlan::compile(spec);
         let mut acc = AggResult::new(spec);
         let keys = self.base.keys();
         for qcell in covering.iter() {
@@ -40,7 +42,7 @@ impl<'a> BinarySearchIndex<'a> {
             let hi = qcell.range_max().raw();
             let mut row = self.base.lower_bound(lo);
             while row < keys.len() && keys[row] <= hi {
-                acc.combine_tuple(spec, |c| self.base.value_f64(row, c));
+                acc.combine_tuple_plan(&plan, |c| self.base.value_f64(row, c));
                 row += 1;
             }
         }
@@ -119,6 +121,7 @@ impl SpatialAggIndex for BTreeIndex<'_> {
             polygon,
             CovererOptions::at_level(self.level),
         );
+        let plan = AggPlan::compile(spec);
         let mut acc = AggResult::new(spec);
         let keys = self.base.keys();
         for qcell in covering.iter() {
@@ -134,7 +137,7 @@ impl SpatialAggIndex for BTreeIndex<'_> {
             // …then scan the sorted raw data.
             let mut row = first_row as usize;
             while row < keys.len() && keys[row] <= hi {
-                acc.combine_tuple(spec, |c| self.base.value_f64(row, c));
+                acc.combine_tuple_plan(&plan, |c| self.base.value_f64(row, c));
                 row += 1;
             }
         }

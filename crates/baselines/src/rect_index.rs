@@ -86,10 +86,11 @@ impl SpatialAggIndex for PhTreeIndex<'_> {
     }
 
     fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> AggResult {
+        let plan = geoblocks::AggPlan::compile(spec);
         let mut acc = AggResult::new(spec);
         if let Some((x0, x1, y0, y1)) = self.window(polygon) {
             self.tree.for_each_in_window(x0, x1, y0, y1, |row| {
-                acc.combine_tuple(spec, |c| self.base.value_f64(row as usize, c));
+                acc.combine_tuple_plan(&plan, |c| self.base.value_f64(row as usize, c));
             });
         }
         acc.finalize(spec)

@@ -35,11 +35,12 @@ impl<'a> GroundTruth<'a> {
     /// Exact aggregates inside the polygon.
     pub fn exact_select(&self, polygon: &Polygon, spec: &AggSpec) -> AggResult {
         let bbox = polygon.bbox();
+        let plan = geoblocks::AggPlan::compile(spec);
         let mut acc = AggResult::new(spec);
         for row in 0..self.base.num_rows() {
             let p = self.base.location(row);
             if bbox.contains_point(p) && polygon.contains_point(p) {
-                acc.combine_tuple(spec, |c| self.base.value_f64(row, c));
+                acc.combine_tuple_plan(&plan, |c| self.base.value_f64(row, c));
             }
         }
         acc.finalize(spec)

@@ -2,8 +2,12 @@
 //!
 //! * **curve**: Hilbert vs Morton enumeration — same prefix machinery,
 //!   different locality; measures covering size effects end-to-end.
-//! * **select algorithm**: the optimised forward range scan vs the paper's
-//!   literal Listing-1 per-child successor walk.
+//! * **select algorithm**: the pyramid-tiered production path vs the
+//!   optimised forward range scan vs the paper's literal Listing-1
+//!   per-child successor walk.
+//! * **select pyramid**: the coarse-interior workload (deep block level,
+//!   large polygons) where interior covering cells expand to thousands of
+//!   block records — the regime the aggregate pyramid exists for.
 //! * **cache**: Block vs warm BlockQC on a skewed workload, and the trie
 //!   probe overhead on an unskewed one.
 //! * **count vs select**: Listing 2's range-sum against a count-only
@@ -47,12 +51,20 @@ fn ablate_select_algorithm(c: &mut Criterion) {
     let spec = AggSpec::k_aggregates(base.schema(), 7);
 
     let mut g = c.benchmark_group("select_ablation");
-    g.bench_function("range_scan", |b| {
+    g.bench_function("pyramid", |b| {
         let mut i = 0usize;
         b.iter(|| {
             let poly = &polys[i % polys.len()];
             i += 1;
             black_box(block.select(poly, &spec).0.count)
+        })
+    });
+    g.bench_function("range_scan", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let poly = &polys[i % polys.len()];
+            i += 1;
+            black_box(block.select_scan(poly, &spec).0.count)
         })
     });
     g.bench_function("listing1_faithful", |b| {
@@ -61,6 +73,54 @@ fn ablate_select_algorithm(c: &mut Criterion) {
             let poly = &polys[i % polys.len()];
             i += 1;
             black_box(block.select_listing1(poly, &spec).0.count)
+        })
+    });
+    g.finish();
+}
+
+/// The coarse-interior regime: block level 12 over the taxi data and
+/// polygons spanning whole boroughs, so interior covering cells sit many
+/// levels above the block level and the scan path combines thousands of
+/// records per query while the pyramid path combines one per cell.
+fn ablate_select_pyramid(c: &mut Criterion) {
+    let base = taxi_base(CurveKind::Hilbert);
+    let (block, _) = build(&base, 12, &Filter::all());
+    let spec = AggSpec::k_aggregates(base.schema(), 7);
+    let domain = datasets::nyc_domain();
+    let (cx, cy) = (
+        (domain.min.x + domain.max.x) / 2.0,
+        (domain.min.y + domain.max.y) / 2.0,
+    );
+    let (w, h) = (domain.max.x - domain.min.x, domain.max.y - domain.min.y);
+    // Borough-scale diamonds centered on the data's hotspots.
+    let polys: Vec<gb_geom::Polygon> = (0..6)
+        .map(|i| {
+            let r = (0.18 + 0.05 * i as f64) * w.min(h);
+            let (px, py) = (cx - w * 0.1 + i as f64 * w * 0.04, cy + h * 0.05);
+            gb_geom::Polygon::new(vec![
+                gb_geom::Point::new(px, py - r),
+                gb_geom::Point::new(px + r, py),
+                gb_geom::Point::new(px, py + r),
+                gb_geom::Point::new(px - r, py),
+            ])
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("select_pyramid");
+    g.bench_function("pyramid", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let poly = &polys[i % polys.len()];
+            i += 1;
+            black_box(block.select(poly, &spec).0.count)
+        })
+    });
+    g.bench_function("range_scan", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let poly = &polys[i % polys.len()];
+            i += 1;
+            black_box(block.select_scan(poly, &spec).0.count)
         })
     });
     g.finish();
@@ -167,6 +227,6 @@ fn ablate_storage_layout(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = ablate_curve, ablate_select_algorithm, ablate_cache, ablate_count_vs_select, ablate_storage_layout
+    targets = ablate_curve, ablate_select_algorithm, ablate_select_pyramid, ablate_cache, ablate_count_vs_select, ablate_storage_layout
 }
 criterion_main!(benches);

@@ -17,7 +17,7 @@
 
 use gb_data::{datasets, extract, AggSpec, CmpOp, Filter, Rows};
 use gb_geom::Polygon;
-use geoblocks::{build, GeoBlock, GeoBlockEngine, Snapshot, SnapshotError};
+use geoblocks::{build, GeoBlock, GeoBlockEngine, Snapshot, SnapshotError, SnapshotRef};
 
 struct Gate {
     failed: bool,
@@ -133,6 +133,62 @@ fn main() {
         ),
         "expected Io error",
     );
+
+    // 3b. The PYRA section: corruption inside the pyramid payload must be
+    // a typed rejection, and a pre-PYRA (version 1) snapshot must load
+    // via rebuild-on-load and answer bit-identically.
+    //
+    // Locate the section by walking the container framing (magic 8 +
+    // version 2 + flags 2 + count 4, then per section tag 4 + len 8 +
+    // checksum 8 + payload) — a raw byte scan for "PYRA" could match
+    // float payload data in an earlier section and corrupt that instead,
+    // making this probe vacuous.
+    let pyra_payload_at = {
+        let mut off = 16usize;
+        loop {
+            assert!(off + 20 <= bytes.len(), "walked off the container");
+            let tag = &bytes[off..off + 4];
+            let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
+            if tag == b"PYRA" {
+                break off + 20;
+            }
+            off += 20 + len;
+        }
+    };
+    let mut m = bytes.clone();
+    m[pyra_payload_at + 64] ^= 0x20; // a byte well inside the payload
+    gate.check(
+        "corrupted PYRA section rejected",
+        Snapshot::from_bytes(&m).is_err(),
+        "a flipped pyramid byte slipped through",
+    );
+    let v1_bytes = SnapshotRef {
+        block: &block,
+        trie: None,
+        hits: None,
+    }
+    .to_bytes_v1();
+    match Snapshot::from_bytes(&v1_bytes) {
+        Err(e) => gate.check("pre-PYRA snapshot loads", false, &format!("{e}")),
+        Ok(old) => {
+            gate.check(
+                "pre-PYRA snapshot loads with rebuilt pyramid",
+                old.block.has_pyramid() && old.block.content_hash() == block.content_hash(),
+                "pyramid missing or content drifted after rebuild-on-load",
+            );
+            let mut identical = true;
+            for p in polys.iter().take(8) {
+                let (a, _) = old.block.select(p, &spec);
+                let (b, _) = block.select(p, &spec);
+                identical &= a.approx_eq(&b, 0.0);
+            }
+            gate.check(
+                "rebuilt pyramid answers bit-identically",
+                identical,
+                "SELECT diverged after rebuild-on-load",
+            );
+        }
+    }
 
     // 4. Hardened request path.
     gate.check(

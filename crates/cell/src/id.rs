@@ -224,6 +224,17 @@ impl CellId {
         1u64 << (2 * (level - self.level()) as u64)
     }
 
+    /// Raw id of the level-`level` ancestor of a raw key, as pure bit
+    /// arithmetic — the hot-loop variant of [`CellId::parent_at`] for code
+    /// that groups *sorted key arrays* by ancestor (the build sweep, the
+    /// aggregate-pyramid folds) without round-tripping through validated
+    /// `CellId`s. `raw` must encode a cell at level ≥ `level`.
+    #[inline]
+    pub fn raw_parent_at(raw: u64, level: u8) -> u64 {
+        let lsb = Self::lsb_for(level);
+        (raw & lsb.wrapping_neg()) | lsb
+    }
+
     /// Deepest common ancestor of two cells.
     pub fn common_ancestor(self, other: CellId) -> CellId {
         let mut bits = self.lsb().max(other.lsb());
@@ -388,6 +399,25 @@ mod tests {
             let too_deep_l = anc.level() + 1;
             if too_deep_l <= leaf.level() && too_deep_l <= far.level() {
                 assert_ne!(leaf.parent_at(too_deep_l), far.parent_at(too_deep_l));
+            }
+        }
+    }
+
+    #[test]
+    fn raw_parent_at_matches_parent_at() {
+        for pos in [0u64, 3, 12345, 0xDEAD_BEEF, (1 << 60) - 1] {
+            let leaf = CellId::from_leaf_pos(pos);
+            for level in 0..=MAX_LEVEL {
+                assert_eq!(
+                    CellId::raw_parent_at(leaf.raw(), level),
+                    leaf.parent_at(level).raw(),
+                    "pos {pos} level {level}"
+                );
+                let mid = leaf.parent_at(15.max(level));
+                assert_eq!(
+                    CellId::raw_parent_at(mid.raw(), level.min(15)),
+                    mid.parent_at(level.min(15)).raw()
+                );
             }
         }
     }

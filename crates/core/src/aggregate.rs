@@ -8,6 +8,58 @@
 
 use gb_data::{AggFunc, AggSpec};
 
+/// A compiled aggregation plan: an [`AggSpec`] resolved **once per query**
+/// into per-function `(slot, column)` lists, so the per-record hot path is
+/// three tight loops instead of a `match` on every request for every cell
+/// aggregate. `Count` requests need no per-record work at all (the tuple
+/// count is tracked separately and resolved in `finalize`), so they do not
+/// appear in any list.
+#[derive(Debug, Clone, Default)]
+pub struct AggPlan {
+    /// Slots accumulating column sums — both `Sum` and `Avg` requests
+    /// (`Avg` slots hold running sums until `finalize`).
+    sum_slots: Vec<(u32, u32)>,
+    /// Slots tracking column minima.
+    min_slots: Vec<(u32, u32)>,
+    /// Slots tracking column maxima.
+    max_slots: Vec<(u32, u32)>,
+    n_slots: usize,
+}
+
+impl AggPlan {
+    /// Resolve `spec` into slot lists.
+    pub fn compile(spec: &AggSpec) -> AggPlan {
+        let mut plan = AggPlan {
+            n_slots: spec.requests.len(),
+            ..AggPlan::default()
+        };
+        for (slot, req) in spec.requests.iter().enumerate() {
+            let entry = (slot as u32, req.column as u32);
+            match req.func {
+                AggFunc::Count => {}
+                AggFunc::Sum | AggFunc::Avg => plan.sum_slots.push(entry),
+                AggFunc::Min => plan.min_slots.push(entry),
+                AggFunc::Max => plan.max_slots.push(entry),
+            }
+        }
+        plan
+    }
+
+    /// True when no `Min`/`Max` aggregate is requested: every answer is
+    /// derivable from tuple counts and column sums alone, which is what
+    /// makes the O(1) prefix-sum range fold a complete answer.
+    #[inline]
+    pub fn sums_only(&self) -> bool {
+        self.min_slots.is_empty() && self.max_slots.is_empty()
+    }
+
+    /// Number of result slots (== `spec.requests.len()`).
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+}
+
 /// Accumulator / result of a spatial aggregation query.
 ///
 /// `values[i]` corresponds to `spec.requests[i]`. While accumulating, `Avg`
@@ -64,6 +116,112 @@ impl AggResult {
                 AggFunc::Min => *slot = slot.min(min_of(req.column)),
                 AggFunc::Max => *slot = slot.max(max_of(req.column)),
             }
+        }
+    }
+
+    /// Reset to the freshly-initialized state for `spec` without
+    /// reallocating — the per-covering-cell scratch accumulator of the
+    /// query path is reused across cells through this.
+    #[inline]
+    pub fn reset(&mut self, spec: &AggSpec) {
+        self.count = 0;
+        self.finalized = false;
+        for (slot, req) in self.values.iter_mut().zip(&spec.requests) {
+            *slot = match req.func {
+                AggFunc::Min => f64::INFINITY,
+                AggFunc::Max => f64::NEG_INFINITY,
+                AggFunc::Sum | AggFunc::Avg | AggFunc::Count => 0.0,
+            };
+        }
+    }
+
+    /// [`AggResult::combine_record`] driven by a compiled [`AggPlan`] over
+    /// column slices — the hot-loop form: no per-request dispatch, no
+    /// closure indirection, accessor arithmetic hoisted to the caller.
+    #[inline]
+    pub fn combine_record_plan(
+        &mut self,
+        plan: &AggPlan,
+        count: u64,
+        mins: &[f64],
+        maxs: &[f64],
+        sums: &[f64],
+    ) {
+        debug_assert!(!self.finalized, "cannot combine after finalize");
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        for &(slot, col) in &plan.sum_slots {
+            self.values[slot as usize] += sums[col as usize];
+        }
+        for &(slot, col) in &plan.min_slots {
+            let s = &mut self.values[slot as usize];
+            *s = s.min(mins[col as usize]);
+        }
+        for &(slot, col) in &plan.max_slots {
+            let s = &mut self.values[slot as usize];
+            *s = s.max(maxs[col as usize]);
+        }
+    }
+
+    /// Fold an O(1) prefix-sum range difference: `count` tuples whose
+    /// per-column sums are `hi[col] − lo[col]` (exclusive prefix rows of
+    /// the block's prefix arrays). Only valid for [`AggPlan::sums_only`]
+    /// plans — min/max cannot be derived from prefixes.
+    #[inline]
+    pub fn combine_prefix(&mut self, plan: &AggPlan, count: u64, lo: &[f64], hi: &[f64]) {
+        debug_assert!(plan.sums_only());
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        for &(slot, col) in &plan.sum_slots {
+            self.values[slot as usize] += hi[col as usize] - lo[col as usize];
+        }
+    }
+
+    /// [`AggResult::combine_tuple`] driven by a compiled [`AggPlan`] (the
+    /// on-the-fly baselines resolve their spec once per query too).
+    #[inline]
+    pub fn combine_tuple_plan(&mut self, plan: &AggPlan, value_of: impl Fn(usize) -> f64) {
+        debug_assert!(!self.finalized);
+        self.count += 1;
+        for &(slot, col) in &plan.sum_slots {
+            self.values[slot as usize] += value_of(col as usize);
+        }
+        for &(slot, col) in &plan.min_slots {
+            let s = &mut self.values[slot as usize];
+            *s = s.min(value_of(col as usize));
+        }
+        for &(slot, col) in &plan.max_slots {
+            let s = &mut self.values[slot as usize];
+            *s = s.max(value_of(col as usize));
+        }
+    }
+
+    /// Merge another (non-finalized) accumulator through a compiled plan.
+    /// Unlike [`AggResult::merge`], an empty `other` (count 0) is a no-op —
+    /// exactly like [`AggResult::combine_record_plan`] of an empty record —
+    /// which is what keeps "fold a run into a scratch accumulator, then
+    /// merge" bit-identical to "combine one precomputed pyramid record".
+    #[inline]
+    pub fn merge_plan(&mut self, plan: &AggPlan, other: &AggResult) {
+        debug_assert!(!self.finalized && !other.finalized);
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        for &(slot, _) in &plan.sum_slots {
+            self.values[slot as usize] += other.values[slot as usize];
+        }
+        for &(slot, _) in &plan.min_slots {
+            let s = &mut self.values[slot as usize];
+            *s = s.min(other.values[slot as usize]);
+        }
+        for &(slot, _) in &plan.max_slots {
+            let s = &mut self.values[slot as usize];
+            *s = s.max(other.values[slot as usize]);
         }
     }
 
@@ -229,6 +387,107 @@ mod tests {
         straight.combine_tuple(&s, |c| (c * 10) as f64);
 
         assert!(merged.finalize(&s).approx_eq(&straight.finalize(&s), 1e-12));
+    }
+
+    #[test]
+    fn plan_record_combine_matches_closure_combine() {
+        let s = spec();
+        let plan = AggPlan::compile(&s);
+        assert!(!plan.sums_only());
+        assert_eq!(plan.n_slots(), 5);
+        let mins = [1.0, -2.0];
+        let maxs = [7.0, 9.5];
+        let sums = [12.0, 3.25];
+        let mut via_plan = AggResult::new(&s);
+        via_plan.combine_record_plan(&plan, 3, &mins, &maxs, &sums);
+        let mut via_closure = AggResult::new(&s);
+        via_closure.combine_record(&s, 3, |c| mins[c], |c| maxs[c], |c| sums[c]);
+        assert!(via_plan
+            .finalize(&s)
+            .approx_eq(&via_closure.finalize(&s), 0.0));
+    }
+
+    #[test]
+    fn plan_tuple_combine_matches_closure_combine() {
+        let s = spec();
+        let plan = AggPlan::compile(&s);
+        let mut a = AggResult::new(&s);
+        let mut b = AggResult::new(&s);
+        for i in 0..5 {
+            a.combine_tuple_plan(&plan, |c| (i * 2 + c) as f64 - 4.5);
+            b.combine_tuple(&s, |c| (i * 2 + c) as f64 - 4.5);
+        }
+        assert!(a.finalize(&s).approx_eq(&b.finalize(&s), 0.0));
+    }
+
+    #[test]
+    fn scratch_merge_equals_direct_record_combine() {
+        // The bit-identity backbone of the query tiers: folding a run into
+        // a reset scratch and merging equals combining the precomputed
+        // record of that run — exactly, not approximately.
+        let s = spec();
+        let plan = AggPlan::compile(&s);
+        let records = [
+            ([0.3, -1.0], [5.0, 2.0], [9.9, 0.5], 2u64),
+            ([0.1, 4.0], [0.2, 8.0], [0.30000000000000004, 12.0], 3u64),
+        ];
+
+        // Path A: scan each record into a scratch, merge into the result.
+        let mut result_a = AggResult::new(&s);
+        let mut scratch = AggResult::new(&s);
+        scratch.reset(&s);
+        for (mins, maxs, sums, count) in &records {
+            scratch.combine_record_plan(&plan, *count, mins, maxs, sums);
+        }
+        result_a.merge_plan(&plan, &scratch);
+
+        // Path B: one precomputed "pyramid" record — the same fold.
+        let mut result_b = AggResult::new(&s);
+        let pre_mins = [0.3f64.min(0.1), (-1.0f64).min(4.0)];
+        let pre_maxs = [5.0f64.max(0.2), 2.0f64.max(8.0)];
+        let pre_sums = [9.9 + 0.30000000000000004, 0.5 + 12.0];
+        result_b.combine_record_plan(&plan, 5, &pre_mins, &pre_maxs, &pre_sums);
+
+        assert!(result_a.finalize(&s).approx_eq(&result_b.finalize(&s), 0.0));
+    }
+
+    #[test]
+    fn prefix_combine_is_sums_only_and_counts_exactly() {
+        let s = AggSpec::new(vec![
+            AggRequest::new(AggFunc::Count, 0),
+            AggRequest::new(AggFunc::Sum, 1),
+            AggRequest::new(AggFunc::Avg, 0),
+        ]);
+        let plan = AggPlan::compile(&s);
+        assert!(plan.sums_only());
+        let lo = [1.0, 10.0];
+        let hi = [4.0, 25.0];
+        let mut r = AggResult::new(&s);
+        r.combine_prefix(&plan, 7, &lo, &hi);
+        r.combine_prefix(&plan, 0, &hi, &hi); // empty range: no-op
+        let r = r.finalize(&s);
+        assert_eq!(r.count, 7);
+        assert_eq!(r.value(0), Some(7.0));
+        assert_eq!(r.value(1), Some(15.0));
+        assert_eq!(r.value(2), Some(3.0 / 7.0));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let s = spec();
+        let mut r = AggResult::new(&s);
+        r.combine_tuple(&s, |_| 42.0);
+        r.reset(&s);
+        let fresh = AggResult::new(&s);
+        assert_eq!(r.count, fresh.count);
+        assert_eq!(
+            r.values().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            fresh
+                .values()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! record layout.
 
 use crate::aggregate::AggResult;
+use crate::pyramid::AggPyramid;
 use gb_cell::{CellId, Grid};
 use gb_data::{AggSpec, Schema};
 
@@ -55,6 +56,22 @@ pub struct GeoBlock {
     /// Set by updates: tuple offsets no longer match any base data, so
     /// COUNT must sum per-cell counts instead of the offset range trick.
     pub(crate) dirty_offsets: bool,
+
+    // --- derived acceleration structures (never serialized as truth:
+    // --- rebuilt from the arrays above by the canonical folds) ---
+    /// Exclusive prefix over `counts` (`n + 1` entries): the tuple count
+    /// of any aggregate run `[a, b)` is `prefix_counts[b] −
+    /// prefix_counts[a]` — Listing 2's offset trick, kept valid across
+    /// updates (unlike `offsets`, which are pinned to the base data).
+    pub(crate) prefix_counts: Vec<u64>,
+    /// Exclusive per-column prefix over `sums`, flattened `(n + 1) ×
+    /// column`: O(1) SUM/AVG range folds for sums-only specs.
+    pub(crate) prefix_sums: Vec<f64>,
+    /// Aggregates at every level coarser than the block level. `None`
+    /// only for blocks that explicitly dropped it
+    /// ([`GeoBlock::clear_pyramid`]); queries then fall back to prefix
+    /// folds and range scans.
+    pub(crate) pyramid: Option<AggPyramid>,
 }
 
 impl GeoBlock {
@@ -118,20 +135,6 @@ impl GeoBlock {
         from + self.keys[from..].partition_point(|&k| k <= key)
     }
 
-    /// Fold cell aggregate `idx` into `result`.
-    #[inline]
-    pub(crate) fn combine_cell(&self, idx: usize, spec: &AggSpec, result: &mut AggResult) {
-        let c = self.n_cols();
-        let base = idx * c;
-        result.combine_record(
-            spec,
-            u64::from(self.counts[idx]),
-            |col| self.mins[base + col],
-            |col| self.maxs[base + col],
-            |col| self.sums[base + col],
-        );
-    }
-
     /// The block-wide aggregate from the global header (100 % selectivity
     /// answers come from here in O(1)).
     pub fn global_aggregate(&self, spec: &AggSpec) -> AggResult {
@@ -174,10 +177,92 @@ impl GeoBlock {
         8 + 8 + 4 + 16 + 24 * self.n_cols()
     }
 
-    /// Heap bytes of the cell aggregates + header — the Figure-11b
-    /// numerator for GeoBlocks.
-    pub fn memory_bytes(&self) -> usize {
+    /// Heap bytes of the block-level cell aggregates + global header —
+    /// the paper's original Figure-11b numerator, and the base the cache
+    /// budget (aggregate threshold) is computed against.
+    pub fn aggregate_bytes(&self) -> usize {
         self.num_cells() * self.record_bytes() + 3 * 8 * self.n_cols() + 32
+    }
+
+    /// Heap bytes of the derived acceleration structures: the per-column
+    /// prefix arrays plus the aggregate pyramid (if kept).
+    pub fn derived_bytes(&self) -> usize {
+        self.prefix_counts.len() * 8
+            + self.prefix_sums.len() * 8
+            + self.pyramid.as_ref().map_or(0, AggPyramid::memory_bytes)
+    }
+
+    /// Total heap bytes — cell aggregates, header, prefix arrays, and
+    /// pyramid (the honest Figure-11b numerator for this implementation).
+    pub fn memory_bytes(&self) -> usize {
+        self.aggregate_bytes() + self.derived_bytes()
+    }
+
+    /// The aggregate pyramid, if this block keeps one.
+    #[inline]
+    pub fn pyramid(&self) -> Option<&AggPyramid> {
+        self.pyramid.as_ref()
+    }
+
+    /// True when coarse covering cells are answered by pyramid lookups.
+    #[inline]
+    pub fn has_pyramid(&self) -> bool {
+        self.pyramid.is_some()
+    }
+
+    /// Drop the pyramid (ablation / memory-constrained deployments).
+    /// Queries stay correct via the prefix-fold and range-scan tiers;
+    /// [`GeoBlock::rebuild_pyramid`] restores it.
+    pub fn clear_pyramid(&mut self) {
+        self.pyramid = None;
+    }
+
+    /// (Re)build the pyramid from the current cell aggregates with the
+    /// canonical serial fold.
+    pub fn rebuild_pyramid(&mut self) {
+        self.pyramid = None; // release before building the replacement
+        self.pyramid = Some(AggPyramid::build(self, None));
+    }
+
+    /// [`GeoBlock::rebuild_pyramid`], layers fanned over `pool` —
+    /// bit-identical to the serial build (layers are independent folds).
+    pub(crate) fn rebuild_pyramid_with(&mut self, pool: &gb_common::Pool) {
+        self.pyramid = None;
+        self.pyramid = Some(AggPyramid::build(self, Some(pool)));
+    }
+
+    /// Rebuild the prefix arrays from the current `counts`/`sums`.
+    pub(crate) fn rebuild_prefix(&mut self) {
+        let n = self.keys.len();
+        let c = self.n_cols();
+        self.prefix_counts.clear();
+        self.prefix_counts.reserve(n + 1);
+        self.prefix_counts.push(0);
+        let mut run = 0u64;
+        for &cnt in &self.counts {
+            run += u64::from(cnt);
+            self.prefix_counts.push(run);
+        }
+        self.prefix_sums.clear();
+        self.prefix_sums.resize((n + 1) * c, 0.0);
+        for i in 0..n {
+            for col in 0..c {
+                self.prefix_sums[(i + 1) * c + col] =
+                    self.prefix_sums[i * c + col] + self.sums[i * c + col];
+            }
+        }
+    }
+
+    /// Rebuild every derived structure (prefix arrays, and the pyramid if
+    /// this block keeps one) from the current cell aggregates. Updates
+    /// call this instead of patching derived state in place: in-place
+    /// propagation of sums would drift from the canonical fold by ULPs
+    /// and break the pyramid-vs-scan bit-identity invariant.
+    pub(crate) fn refresh_derived(&mut self) {
+        self.rebuild_prefix();
+        if self.pyramid.is_some() {
+            self.rebuild_pyramid();
+        }
     }
 
     /// A digest over every stored array (floats by bit pattern, so NaN
@@ -211,26 +296,42 @@ impl GeoBlock {
     }
 
     /// Build a coarser GeoBlock at `level` from this one **without**
-    /// rescanning the base data (§3.4 "aggregate granularity"): merges the
-    /// cell aggregates of each coarse cell in a single pass.
+    /// rescanning the base data (§3.4 "aggregate granularity"): the
+    /// aggregate arrays come from the canonical in-order fold
+    /// (`pyramid::fold_level` — the same fold that defines every
+    /// pyramid layer), plus one grouping pass for the base-data linkage
+    /// (offsets, leaf-key bounds) the fold does not carry.
     pub fn coarsen(&self, level: u8) -> GeoBlock {
         assert!(level <= self.level, "coarsen can only reduce the level");
         if level == self.level {
             return self.clone();
         }
         let c = self.n_cols();
+        let folded = crate::pyramid::fold_level(
+            level,
+            &self.keys,
+            &self.counts,
+            &self.mins,
+            &self.maxs,
+            &self.sums,
+            c,
+        );
         let mut out = GeoBlock {
             grid: self.grid,
             level,
             schema: self.schema.clone(),
-            keys: Vec::new(),
+            keys: folded.keys,
             offsets: Vec::new(),
-            counts: Vec::new(),
+            counts: folded
+                .counts
+                .iter()
+                .map(|&n| u32::try_from(n).expect("cell count fits u32"))
+                .collect(),
             key_mins: Vec::new(),
             key_maxs: Vec::new(),
-            mins: Vec::new(),
-            maxs: Vec::new(),
-            sums: Vec::new(),
+            mins: folded.mins,
+            maxs: folded.maxs,
+            sums: folded.sums,
             n_rows: self.n_rows,
             min_cell: 0,
             max_cell: 0,
@@ -238,39 +339,25 @@ impl GeoBlock {
             global_maxs: self.global_maxs.clone(),
             global_sums: self.global_sums.clone(),
             dirty_offsets: self.dirty_offsets,
+            prefix_counts: Vec::new(),
+            prefix_sums: Vec::new(),
+            pyramid: None,
         };
 
+        // Base-data linkage per coarse group: first offset, leaf-key span.
         let mut i = 0usize;
         while i < self.keys.len() {
             let parent = self.cell_at(i).parent_at(level);
-            let start = i;
-            out.keys.push(parent.raw());
             out.offsets.push(self.offsets[i]);
             out.key_mins.push(self.key_mins[i]);
-            let mut count = 0u64;
             let mut key_max = 0u64;
-            let col_base = out.mins.len();
-            out.mins.extend_from_slice(&self.mins[i * c..(i + 1) * c]);
-            out.maxs.extend_from_slice(&self.maxs[i * c..(i + 1) * c]);
-            out.sums.extend_from_slice(&self.sums[i * c..(i + 1) * c]);
             while i < self.keys.len() && parent.contains(self.cell_at(i)) {
-                count += u64::from(self.counts[i]);
                 key_max = key_max.max(self.key_maxs[i]);
-                if i > start {
-                    for col in 0..c {
-                        out.mins[col_base + col] =
-                            out.mins[col_base + col].min(self.mins[i * c + col]);
-                        out.maxs[col_base + col] =
-                            out.maxs[col_base + col].max(self.maxs[i * c + col]);
-                        out.sums[col_base + col] += self.sums[i * c + col];
-                    }
-                }
                 i += 1;
             }
-            out.counts
-                .push(u32::try_from(count).expect("cell count fits u32"));
             out.key_maxs.push(key_max);
         }
+        debug_assert_eq!(out.offsets.len(), out.keys.len());
 
         out.min_cell = out.keys.first().copied().unwrap_or(0);
         out.max_cell = out.keys.last().copied().unwrap_or(0);
@@ -278,6 +365,10 @@ impl GeoBlock {
             out.keys.windows(2).all(|w| w[0] < w[1]),
             "coarse keys unique+sorted"
         );
+        out.rebuild_prefix();
+        if self.pyramid.is_some() {
+            out.rebuild_pyramid();
+        }
         out
     }
 
@@ -351,6 +442,31 @@ impl GeoBlock {
                 }
                 expect += u64::from(self.counts[i]);
             }
+        }
+        // Derived structures must match their defining folds exactly
+        // (they are deterministic functions of the arrays above).
+        if self.prefix_counts.len() != n + 1 || self.prefix_sums.len() != (n + 1) * c {
+            return Err("prefix arrays do not match the cell count".into());
+        }
+        if self.prefix_counts[0] != 0 {
+            return Err("prefix counts must start at 0".into());
+        }
+        if self.prefix_sums[..c].iter().any(|&x| x.to_bits() != 0) {
+            return Err("prefix sums must start at +0.0".into());
+        }
+        for i in 0..n {
+            if self.prefix_counts[i + 1] != self.prefix_counts[i] + u64::from(self.counts[i]) {
+                return Err(format!("count prefix broken at index {i}"));
+            }
+            for col in 0..c {
+                let expect = self.prefix_sums[i * c + col] + self.sums[i * c + col];
+                if self.prefix_sums[(i + 1) * c + col].to_bits() != expect.to_bits() {
+                    return Err(format!("sum prefix broken at index {i}, column {col}"));
+                }
+            }
+        }
+        if let Some(pyramid) = &self.pyramid {
+            pyramid.validate(self)?;
         }
         Ok(())
     }

@@ -148,6 +148,9 @@ fn assemble(grid: gb_cell::Grid, level: u8, schema: Schema, partials: Vec<Partia
         global_maxs: vec![f64::NEG_INFINITY; c],
         global_sums: vec![0.0; c],
         dirty_offsets: false,
+        prefix_counts: Vec::new(),
+        prefix_sums: Vec::new(),
+        pyramid: None,
     };
 
     let mut row_base = 0u64;
@@ -203,7 +206,9 @@ pub fn build(base: &BaseTable, level: u8, filter: &Filter) -> (GeoBlock, BuildSt
     let n = base.keys().len();
     let partial = sweep_range(base, level, filter, 0..n);
     let rows_kept = partial.rows_kept as usize;
-    let block = assemble(*base.grid(), level, base.schema().clone(), vec![partial]);
+    let mut block = assemble(*base.grid(), level, base.schema().clone(), vec![partial]);
+    block.rebuild_prefix();
+    block.rebuild_pyramid();
     let stats = BuildStats {
         build_time: timer.elapsed(),
         rows_scanned: n,
@@ -265,7 +270,12 @@ pub fn build_parallel(
         sweep_range(base, level, filter, cuts[i]..cuts[i + 1])
     });
     let rows_kept: u64 = partials.iter().map(|p| p.rows_kept).sum();
-    let block = assemble(*base.grid(), level, base.schema().clone(), partials);
+    let mut block = assemble(*base.grid(), level, base.schema().clone(), partials);
+    block.rebuild_prefix();
+    // Pyramid layers are independent in-order folds over the assembled
+    // cells: fanning them over the pool is bit-identical to the serial
+    // build at any thread count.
+    block.rebuild_pyramid_with(&pool);
     let stats = BuildStats {
         build_time: timer.elapsed(),
         rows_scanned: n,
@@ -326,6 +336,10 @@ mod tests {
         assert_eq!(bits(&a.global_mins), bits(&b.global_mins));
         assert_eq!(bits(&a.global_maxs), bits(&b.global_maxs));
         assert_eq!(bits(&a.global_sums), bits(&b.global_sums));
+        // Derived structures too: prefix arrays and every pyramid layer.
+        assert_eq!(a.prefix_counts, b.prefix_counts);
+        assert_eq!(bits(&a.prefix_sums), bits(&b.prefix_sums));
+        assert_eq!(a.pyramid, b.pyramid, "pyramids diverged");
     }
 
     #[test]

@@ -280,6 +280,7 @@ impl std::fmt::Debug for GeoBlockEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GeoBlockEngine")
             .field("cells", &self.block.num_cells())
+            .field("pyramid", &self.block.has_pyramid())
             .field("threshold", &self.threshold)
             .field("epoch", &self.epoch())
             .field("tracked_cells", &self.tracked_cells())

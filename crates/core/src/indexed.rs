@@ -317,14 +317,19 @@ mod tests {
 
     #[test]
     fn indexed_layout_costs_more_memory() {
+        // §5 compares storage *layouts* for the same records, so the flat
+        // side is the cell-aggregate bytes — `memory_bytes` additionally
+        // counts the derived pyramid/prefix structures.
         let base = base_data(5000);
         let (block, _) = build(&base, 9, &Filter::all());
         let indexed = IndexedBlock::from_block(&block);
         assert!(
-            indexed.memory_bytes() > block.memory_bytes(),
+            indexed.memory_bytes() > block.aggregate_bytes(),
             "indexed {} should exceed flat {}",
             indexed.memory_bytes(),
-            block.memory_bytes()
+            block.aggregate_bytes()
         );
+        assert!(block.memory_bytes() > block.aggregate_bytes());
+        assert!(block.derived_bytes() > 0);
     }
 }

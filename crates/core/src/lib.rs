@@ -36,6 +36,7 @@
 //! | Module | Paper section |
 //! |---|---|
 //! | [`block`] — storage layout, header, coarsening | §3.4 |
+//! | [`pyramid`] — multi-resolution aggregate pyramid + prefix folds | §3.4 "granularity", §3.5 |
 //! | [`build`](mod@build) — single- or multi-threaded builds from sorted base data | §3.3 |
 //! | [`query`] — SELECT (Listing 1) and COUNT (Listing 2) | §3.5 |
 //! | [`trie`] — the AggregateTrie cache | §3.6, Fig. 7 |
@@ -51,17 +52,19 @@ pub mod block;
 pub mod build;
 pub mod engine;
 pub mod indexed;
+pub mod pyramid;
 pub mod qc;
 pub mod query;
 pub mod snapshot;
 pub mod trie;
 pub mod update;
 
-pub use aggregate::AggResult;
+pub use aggregate::{AggPlan, AggResult};
 pub use block::GeoBlock;
 pub use build::{build, build_parallel, build_with_rows, BuildStats};
 pub use engine::GeoBlockEngine;
 pub use indexed::IndexedBlock;
+pub use pyramid::AggPyramid;
 pub use qc::{CacheMetrics, GeoBlockQC, RebuildPolicy};
 pub use query::QueryStats;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotRef, SNAPSHOT_VERSION};

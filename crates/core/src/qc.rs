@@ -11,9 +11,9 @@
 //! mostly independent of the cell level […] we do not expect noticeable
 //! speedups for them").
 
-use crate::aggregate::AggResult;
+use crate::aggregate::{AggPlan, AggResult};
 use crate::block::GeoBlock;
-use crate::query::QueryStats;
+use crate::query::{Cursors, QueryStats};
 use crate::trie::AggregateTrie;
 use gb_cell::CellId;
 use gb_common::FxHashMap;
@@ -76,9 +76,11 @@ pub(crate) fn select_adapted(
     metrics: &mut CacheMetrics,
 ) -> (AggResult, QueryStats) {
     let covering = block.cover(polygon);
+    let plan = AggPlan::compile(spec);
     let mut result = AggResult::new(spec);
+    let mut scratch = AggResult::new(spec);
     let mut stats = QueryStats::default();
-    let mut cursor = 0usize;
+    let mut cursors = Cursors::new();
 
     for qcell in covering.iter() {
         if !block.may_overlap(qcell) {
@@ -95,39 +97,29 @@ pub(crate) fn select_adapted(
             Some(node) => {
                 if let Some(agg) = trie.agg_of(node) {
                     // Fully cached: answer from the trie.
-                    result.combine_record(
-                        spec,
-                        agg.count,
-                        |c| agg.min(c),
-                        |c| agg.max(c),
-                        |c| agg.sum(c),
-                    );
+                    agg.combine_into(&plan, &mut result);
                     metrics.direct_hits += 1;
                     continue;
                 }
                 if qcell.level() < gb_cell::MAX_LEVEL {
                     if let Some(children) = trie.children_of(node) {
                         // Partially cached: combine cached direct children,
-                        // fall back per missing child.
+                        // fall back per missing child (pyramid-tiered too).
                         let mut used_child = false;
                         for (k, &child_node) in children.iter().enumerate() {
                             let child_cell = qcell.child(k as u8);
                             if let Some(agg) = trie.agg_of(child_node) {
-                                result.combine_record(
-                                    spec,
-                                    agg.count,
-                                    |c| agg.min(c),
-                                    |c| agg.max(c),
-                                    |c| agg.sum(c),
-                                );
+                                agg.combine_into(&plan, &mut result);
                                 used_child = true;
                             } else {
-                                cursor = block.scan_cell_range(
+                                block.combine_covering_cell(
                                     child_cell,
                                     spec,
+                                    &plan,
+                                    &mut scratch,
                                     &mut result,
                                     &mut stats,
-                                    0,
+                                    &mut cursors,
                                 );
                             }
                         }
@@ -137,11 +129,27 @@ pub(crate) fn select_adapted(
                         continue;
                     }
                 }
-                // Node exists but nothing usable: old algorithm.
-                cursor = block.scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+                // Node exists but nothing usable: base tiered path.
+                block.combine_covering_cell(
+                    qcell,
+                    spec,
+                    &plan,
+                    &mut scratch,
+                    &mut result,
+                    &mut stats,
+                    &mut cursors,
+                );
             }
             None => {
-                cursor = block.scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+                block.combine_covering_cell(
+                    qcell,
+                    spec,
+                    &plan,
+                    &mut scratch,
+                    &mut result,
+                    &mut stats,
+                    &mut cursors,
+                );
             }
         }
     }

@@ -1,26 +1,43 @@
-//! SELECT and COUNT query evaluation (§3.5, Listings 1 & 2, Figure 6).
+//! SELECT and COUNT query evaluation (§3.5, Listings 1 & 2, Figure 6),
+//! accelerated by the multi-resolution aggregate pyramid.
 //!
 //! Both queries start identically: the polygon is approximated by an
 //! error-bounded cell covering (boundary cells at the block level, interior
 //! cells possibly coarser), the covering is pruned against the global
-//! header, and each covering cell turns into a contiguous range of cell
-//! aggregates (keys are curve-sorted, so a cell's descendants form one run).
+//! header, and each covering cell is answered by the cheapest applicable
+//! tier:
 //!
-//! * [`GeoBlock::select`] — the production variant: one forward range scan
-//!   per covering cell, resuming from the previous cell's end position (the
-//!   "lastAgg" successor trick of Listing 1 generalised to a cursor).
+//! 1. **Pyramid lookup** — every covering cell is grid-aligned, so a cell
+//!    coarser than the block level is answered by one cursor-resumed
+//!    binary search in its pyramid layer and **one** record combine
+//!    (`cells_combined` ≤ covering size). Pyramid records are in-order
+//!    folds of the block records they cover, so this tier is bit-identical
+//!    to the range scan it replaces.
+//! 2. **Prefix-sum fold** — without a pyramid, sums-only specs
+//!    (SUM/AVG/COUNT) are answered in O(1) per cell from the per-column
+//!    prefix arrays, Listing 2's offset trick generalised to every column.
+//!    Exact reassociation of the same sum, so results agree with the scan
+//!    to FP tolerance (documented in `DESIGN.md`).
+//! 3. **Range scan** — the seed algorithm of Listing 1 (one forward scan
+//!    per covering cell, cursor-resumed): the only tier that can answer
+//!    MIN/MAX over runs no pyramid record covers, and the reference the
+//!    other tiers are tested against ([`GeoBlock::select_scan`]).
+//!
+//! * [`GeoBlock::select`] — the production tiered variant.
+//! * [`GeoBlock::select_scan`] — tier 3 only; the `select_ablation` /
+//!   `select_pyramid` bench reference.
 //! * [`GeoBlock::select_listing1`] — the paper's pseudocode, literally:
 //!   every covering cell is first expanded to block-level child cells, each
 //!   child is looked up via upper-bound binary search or the successor
 //!   check. Kept as an ablation target (`select_ablation` bench).
-//! * [`GeoBlock::count`] — Listing 2: per covering cell, locate the first and last
-//!   contained aggregate and use `last.offset + last.count − first.offset`
-//!   (a range-sum over the offset prefix structure). Falls back to summing
-//!   counts after in-place updates invalidated offsets.
+//! * [`GeoBlock::count`] — Listing 2 over the maintained count prefix:
+//!   `prefix[last + 1] − prefix[first]` per covering cell. Unlike the
+//!   stored base-data offsets, the prefix is rebuilt by updates, so COUNT
+//!   stays O(1) per cell even after batches (no scan fallback).
 
-use crate::aggregate::AggResult;
+use crate::aggregate::{AggPlan, AggResult};
 use crate::block::GeoBlock;
-use gb_cell::{cover_polygon, CellUnion, CovererOptions};
+use gb_cell::{cover_polygon, CellId, CellUnion, CovererOptions, MAX_LEVEL};
 use gb_data::AggSpec;
 use gb_geom::Polygon;
 
@@ -33,6 +50,27 @@ pub struct QueryStats {
     pub cells_combined: usize,
     /// Binary searches performed.
     pub searches: usize,
+}
+
+/// Per-level resume positions for the cursor-resumed searches: covering
+/// cells ascend in curve order, so within each pyramid layer (and within
+/// the block-level records) every search can start where the previous one
+/// of that level ended.
+pub(crate) struct Cursors {
+    /// Resume position in the block-level record arrays.
+    pub(crate) block: usize,
+    /// Resume position per pyramid layer.
+    levels: [usize; MAX_LEVEL as usize + 1],
+}
+
+impl Cursors {
+    #[inline]
+    pub(crate) fn new() -> Cursors {
+        Cursors {
+            block: 0,
+            levels: [0; MAX_LEVEL as usize + 1],
+        }
+    }
 }
 
 impl GeoBlock {
@@ -51,9 +89,38 @@ impl GeoBlock {
     /// SELECT over a precomputed covering, without finalization (the
     /// query-cache layer composes partial results before finalizing).
     pub fn select_covering(&self, covering: &CellUnion, spec: &AggSpec) -> (AggResult, QueryStats) {
+        self.select_covering_tiered(covering, spec, true)
+    }
+
+    /// SELECT restricted to the range-scan tier — the seed algorithm,
+    /// kept as the ablation reference and the ground truth the pyramid
+    /// path must match bit-for-bit.
+    pub fn select_scan(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+        let covering = self.cover(polygon);
+        let (acc, stats) = self.select_covering_scan(&covering, spec);
+        (acc.finalize(spec), stats)
+    }
+
+    /// [`GeoBlock::select_scan`] over a precomputed covering.
+    pub fn select_covering_scan(
+        &self,
+        covering: &CellUnion,
+        spec: &AggSpec,
+    ) -> (AggResult, QueryStats) {
+        self.select_covering_tiered(covering, spec, false)
+    }
+
+    fn select_covering_tiered(
+        &self,
+        covering: &CellUnion,
+        spec: &AggSpec,
+        accelerated: bool,
+    ) -> (AggResult, QueryStats) {
+        let plan = AggPlan::compile(spec);
         let mut result = AggResult::new(spec);
+        let mut scratch = AggResult::new(spec);
         let mut stats = QueryStats::default();
-        let mut cursor = 0usize; // aggregates are sorted; coverings too
+        let mut cursors = Cursors::new();
 
         for qcell in covering.iter() {
             // Header pre-check (Listing 1 lines 5–6): skip cells outside
@@ -62,9 +129,121 @@ impl GeoBlock {
                 continue;
             }
             stats.query_cells += 1;
-            cursor = self.scan_cell_range(qcell, spec, &mut result, &mut stats, cursor);
+            if accelerated {
+                self.combine_covering_cell(
+                    qcell,
+                    spec,
+                    &plan,
+                    &mut scratch,
+                    &mut result,
+                    &mut stats,
+                    &mut cursors,
+                );
+            } else {
+                self.scan_covering_cell(
+                    qcell,
+                    spec,
+                    &plan,
+                    &mut scratch,
+                    &mut result,
+                    &mut stats,
+                    &mut cursors,
+                );
+            }
         }
         (result, stats)
+    }
+
+    /// Fold one covering cell into `result` via the cheapest applicable
+    /// tier (pyramid lookup → prefix fold → range scan). Shared by the
+    /// plain SELECT path and the cache-adapted path in [`crate::qc`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn combine_covering_cell(
+        &self,
+        qcell: CellId,
+        spec: &AggSpec,
+        plan: &AggPlan,
+        scratch: &mut AggResult,
+        result: &mut AggResult,
+        stats: &mut QueryStats,
+        cursors: &mut Cursors,
+    ) {
+        let level = qcell.level();
+        if level < self.level {
+            // Tier 1: exact pyramid lookup at the cell's own level.
+            if let Some(pyramid) = &self.pyramid {
+                let layer = pyramid
+                    .layer(level)
+                    .expect("pyramid holds every level below the block level");
+                let c = self.n_cols();
+                let from = cursors.levels[level as usize];
+                stats.searches += 1;
+                let i = from + layer.keys[from..].partition_point(|&k| k < qcell.raw());
+                if i < layer.keys.len() && layer.keys[i] == qcell.raw() {
+                    let base = i * c;
+                    result.combine_record_plan(
+                        plan,
+                        layer.counts[i],
+                        &layer.mins[base..base + c],
+                        &layer.maxs[base..base + c],
+                        &layer.sums[base..base + c],
+                    );
+                    stats.cells_combined += 1;
+                    cursors.levels[level as usize] = i + 1;
+                } else {
+                    // No record ⇒ no data under this covering cell.
+                    cursors.levels[level as usize] = i;
+                }
+                return;
+            }
+            // Tier 2: O(1) prefix fold, complete for sums-only specs.
+            if plan.sums_only() {
+                let lo_key = qcell.range_min().raw();
+                let hi_key = qcell.range_max().raw();
+                stats.searches += 2;
+                let first = self.lower_bound_from(lo_key, cursors.block);
+                if first == self.keys.len() || self.keys[first] > hi_key {
+                    cursors.block = first;
+                    return;
+                }
+                let end = self.upper_bound_from(hi_key, first);
+                cursors.block = end;
+                let c = self.n_cols();
+                let count = self.prefix_counts[end] - self.prefix_counts[first];
+                result.combine_prefix(
+                    plan,
+                    count,
+                    &self.prefix_sums[first * c..first * c + c],
+                    &self.prefix_sums[end * c..end * c + c],
+                );
+                stats.cells_combined += 1;
+                return;
+            }
+        }
+        // Tier 3: scan block-level records (MIN/MAX over uncovered runs,
+        // and block-level covering cells, where the run is ≤ 1 record).
+        self.scan_covering_cell(qcell, spec, plan, scratch, result, stats, cursors);
+    }
+
+    /// The range-scan tier: fold `qcell`'s record run into a fresh scratch
+    /// accumulator, then merge it into `result`. The two-step fold is what
+    /// makes the scan bit-identical to a pyramid lookup: the scratch ends
+    /// up bit-equal to the pyramid record (same in-order fold from zero),
+    /// and both paths then perform the same single merge.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_covering_cell(
+        &self,
+        qcell: CellId,
+        spec: &AggSpec,
+        plan: &AggPlan,
+        scratch: &mut AggResult,
+        result: &mut AggResult,
+        stats: &mut QueryStats,
+        cursors: &mut Cursors,
+    ) {
+        scratch.reset(spec);
+        cursors.block = self.scan_cell_range(qcell, plan, scratch, stats, cursors.block);
+        result.merge_plan(plan, scratch);
     }
 
     /// Fold all cell aggregates inside `qcell` into `result`, scanning
@@ -72,8 +251,8 @@ impl GeoBlock {
     #[inline]
     pub(crate) fn scan_cell_range(
         &self,
-        qcell: gb_cell::CellId,
-        spec: &AggSpec,
+        qcell: CellId,
+        plan: &AggPlan,
         result: &mut AggResult,
         stats: &mut QueryStats,
         cursor: usize,
@@ -82,8 +261,16 @@ impl GeoBlock {
         let hi_key = qcell.range_max().raw();
         let mut i = self.lower_bound_from(lo_key, cursor);
         stats.searches += 1;
+        let c = self.n_cols();
         while i < self.keys.len() && self.keys[i] <= hi_key {
-            self.combine_cell(i, spec, result);
+            let base = i * c;
+            result.combine_record_plan(
+                plan,
+                u64::from(self.counts[i]),
+                &self.mins[base..base + c],
+                &self.maxs[base..base + c],
+                &self.sums[base..base + c],
+            );
             stats.cells_combined += 1;
             i += 1;
         }
@@ -94,14 +281,27 @@ impl GeoBlock {
     /// cell to its block-level children and look each child up, exploiting
     /// the stored order via a "last aggregate" successor check.
     ///
-    /// Functionally identical to [`GeoBlock::select`]; kept for the
+    /// Functionally identical to [`GeoBlock::select_scan`]; kept for the
     /// ablation benches. Beware: a coarse interior covering cell expands to
-    /// 4^Δ children, so this variant degrades when coverings are coarse.
+    /// 4^Δ children, so this variant degrades when coverings are coarse —
+    /// exactly the degradation the aggregate pyramid removes.
     pub fn select_listing1(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
         let covering = self.cover(polygon);
+        let plan = AggPlan::compile(spec);
+        let c = self.n_cols();
         let mut result = AggResult::new(spec);
         let mut stats = QueryStats::default();
         let mut last_agg: Option<usize> = None;
+        let combine = |idx: usize, result: &mut AggResult| {
+            let base = idx * c;
+            result.combine_record_plan(
+                &plan,
+                u64::from(self.counts[idx]),
+                &self.mins[base..base + c],
+                &self.maxs[base..base + c],
+                &self.sums[base..base + c],
+            );
+        };
 
         for qcell in covering.iter() {
             if !self.may_overlap(qcell) {
@@ -114,7 +314,7 @@ impl GeoBlock {
                 match last_agg {
                     // Lines 25–28: check the successor of the last hit.
                     Some(last) if last + 1 < self.keys.len() && self.keys[last + 1] == key => {
-                        self.combine_cell(last + 1, spec, &mut result);
+                        combine(last + 1, &mut result);
                         stats.cells_combined += 1;
                         last_agg = Some(last + 1);
                     }
@@ -128,7 +328,7 @@ impl GeoBlock {
                         stats.searches += 1;
                         let ub = self.upper_bound_from(key, 0);
                         if ub > 0 && self.keys[ub - 1] == key {
-                            self.combine_cell(ub - 1, spec, &mut result);
+                            combine(ub - 1, &mut result);
                             stats.cells_combined += 1;
                             last_agg = Some(ub - 1);
                         }
@@ -145,10 +345,15 @@ impl GeoBlock {
         self.count_covering(&covering)
     }
 
-    /// COUNT over a precomputed covering.
+    /// COUNT over a precomputed covering: per cell, locate the first and
+    /// last contained aggregate (both searches resuming from the previous
+    /// cell's end — coverings and keys are sorted the same way) and take
+    /// the O(1) difference over the maintained count prefix. The prefix is
+    /// rebuilt by updates, so there is no post-update scan fallback.
     pub fn count_covering(&self, covering: &CellUnion) -> (u64, QueryStats) {
         let mut stats = QueryStats::default();
         let mut total = 0u64;
+        let mut cursor = 0usize;
 
         for qcell in covering.iter() {
             if !self.may_overlap(qcell) {
@@ -162,23 +367,18 @@ impl GeoBlock {
             let hi_key = qcell.range_max().raw();
 
             stats.searches += 2;
-            let first = self.lower_bound_from(lo_key, 0);
+            let first = self.lower_bound_from(lo_key, cursor);
             if first == self.keys.len() || self.keys[first] > hi_key {
+                cursor = first;
                 continue; // no aggregates inside this covering cell
             }
-            let last = self.upper_bound_from(hi_key, first) - 1;
+            let end = self.upper_bound_from(hi_key, first);
+            cursor = end;
 
-            if self.dirty_offsets {
-                // Updates broke the offset arithmetic: sum counts instead.
-                for i in first..=last {
-                    total += u64::from(self.counts[i]);
-                    stats.cells_combined += 1;
-                }
-            } else {
-                // Line 11: last.offset + last.count − first.offset.
-                total += self.offsets[last] + u64::from(self.counts[last]) - self.offsets[first];
-                stats.cells_combined += 2;
-            }
+            // Line 11, over the maintained prefix:
+            // prefix[last + 1] − prefix[first].
+            total += self.prefix_counts[end] - self.prefix_counts[first];
+            stats.cells_combined += 2;
         }
         (total, stats)
     }
@@ -267,6 +467,81 @@ mod tests {
     }
 
     #[test]
+    fn pyramid_select_is_bit_identical_to_scan() {
+        let base = base_data(6000);
+        for level in [6u8, 9, 11] {
+            let (block, _) = build(&base, level, &Filter::all());
+            assert!(block.has_pyramid());
+            let s = spec();
+            for (cx, cy, r) in [(50.0, 50.0, 35.0), (30.0, 60.0, 12.0), (85.0, 15.0, 8.0)] {
+                let poly = diamond(cx, cy, r);
+                let (fast, _) = block.select(&poly, &s);
+                let (scan, _) = block.select_scan(&poly, &s);
+                assert!(
+                    fast.approx_eq(&scan, 0.0),
+                    "level {level} poly ({cx},{cy},{r}): {fast:?} vs {scan:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pyramid_combines_at_most_one_record_per_covering_cell() {
+        // The acceptance bound of the pyramid path: every covering cell is
+        // answered by at most one combined record, so `cells_combined`
+        // never exceeds the (pruned) covering size — while the scan path
+        // expands coarse interior cells into many records.
+        let base = base_data(8000);
+        let (block, _) = build(&base, 10, &Filter::all());
+        let poly = diamond(50.0, 50.0, 38.0);
+        let s = spec();
+        let (_, fast) = block.select(&poly, &s);
+        assert!(
+            fast.cells_combined <= fast.query_cells,
+            "pyramid combined {} records over {} covering cells",
+            fast.cells_combined,
+            fast.query_cells
+        );
+        let (_, scan) = block.select_scan(&poly, &s);
+        assert!(
+            scan.cells_combined > 2 * fast.cells_combined,
+            "scan {} vs pyramid {} — workload not coarse enough to matter",
+            scan.cells_combined,
+            fast.cells_combined
+        );
+    }
+
+    #[test]
+    fn prefix_fold_matches_scan_for_sums_only_specs() {
+        let base = base_data(5000);
+        let (mut block, _) = build(&base, 9, &Filter::all());
+        block.clear_pyramid();
+        let sums_spec = AggSpec::new(vec![
+            AggRequest::new(AggFunc::Count, 0),
+            AggRequest::new(AggFunc::Sum, 0),
+            AggRequest::new(AggFunc::Avg, 1),
+        ]);
+        for (cx, cy, r) in [(50.0, 50.0, 30.0), (20.0, 70.0, 11.0)] {
+            let poly = diamond(cx, cy, r);
+            let (fast, fast_stats) = block.select(&poly, &sums_spec);
+            let (scan, scan_stats) = block.select_scan(&poly, &sums_spec);
+            // Counts are exact; sums agree to FP tolerance (the prefix
+            // fold is an exact reassociation of the same additions).
+            assert_eq!(fast.count, scan.count);
+            assert!(fast.approx_eq(&scan, 1e-9), "{fast:?} vs {scan:?}");
+            assert!(
+                fast_stats.cells_combined <= fast_stats.query_cells,
+                "prefix fold should combine once per cell"
+            );
+            assert!(scan_stats.cells_combined >= fast_stats.cells_combined);
+        }
+        // Mixed specs must take the scan tier (min/max need records).
+        let (a, _) = block.select(&diamond(50.0, 50.0, 25.0), &spec());
+        let (b, _) = block.select_scan(&diamond(50.0, 50.0, 25.0), &spec());
+        assert!(a.approx_eq(&b, 0.0), "{a:?} vs {b:?}");
+    }
+
+    #[test]
     fn listing1_variant_agrees_with_range_scan() {
         let base = base_data(3000);
         let (block, _) = build(&base, 7, &Filter::all());
@@ -293,15 +568,15 @@ mod tests {
     }
 
     #[test]
-    fn count_visits_fewer_aggregates_than_select() {
+    fn count_visits_fewer_aggregates_than_scan_select() {
         let base = base_data(8000);
         let (block, _) = build(&base, 9, &Filter::all());
         let poly = diamond(50.0, 50.0, 35.0);
-        let (_, sel_stats) = block.select(&poly, &AggSpec::count_only());
+        let (_, sel_stats) = block.select_scan(&poly, &AggSpec::count_only());
         let (_, cnt_stats) = block.count(&poly);
         assert!(
             cnt_stats.cells_combined < sel_stats.cells_combined / 2,
-            "count {} vs select {}",
+            "count {} vs scan select {}",
             cnt_stats.cells_combined,
             sel_stats.cells_combined
         );

@@ -14,7 +14,7 @@
 //! * optionally the §3.6 hit statistics, so post-restart rebuilds keep
 //!   adapting from everything learned before the restart.
 //!
-//! ## Sections (format version 1)
+//! ## Sections (format version 2)
 //!
 //! | tag    | content |
 //! |--------|---------|
@@ -22,8 +22,16 @@
 //! | `GRID` | domain rectangle (4 × f64 bits), curve tag |
 //! | `HDRS` | level, `dirty_offsets`, `n_rows`, min/max cell, global min/max/sum, **block content hash**, **state hash** |
 //! | `CELL` | keys, offsets, counts, leaf-key min/max, per-cell min/max/sum |
+//! | `PYRA` | (optional, v2) section format byte, then per layer: level, keys, counts, min/max/sum |
 //! | `TRIE` | (optional) root cell, node arrays, cached records |
 //! | `HITS` | (optional) hit-statistic key/count pairs |
+//!
+//! Version-1 files (and any file without a `PYRA` section) still load:
+//! the aggregate pyramid is a deterministic fold of the `CELL` arrays, so
+//! the loader rebuilds it in memory — older snapshots pay a one-time
+//! rebuild instead of being rejected. The per-column prefix arrays are
+//! *never* serialized; they are always rebuilt (they cost O(n) to derive
+//! and as much as the `CELL` section to store).
 //!
 //! Every load re-derives two digests and compares them with the values
 //! stored at save time: [`GeoBlock::content_hash`] (cell arrays +
@@ -47,16 +55,26 @@ use std::path::Path;
 pub use gb_store::SnapshotError;
 
 /// Current snapshot format version. Bump on any change to an existing
-/// section's encoding; adding new optional sections does not require a
-/// bump (readers skip unknown tags). See `DESIGN.md` "Persistence".
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// section's encoding **or** to what the stored state hash spans; adding
+/// new optional sections a v1 reader could safely ignore does not require
+/// a bump. Version 2 added the `PYRA` section (covered by the state hash,
+/// hence the bump); v1 files load via pyramid rebuild-on-load. See
+/// `DESIGN.md` "Persistence".
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 const TAG_SCHEMA: SectionTag = SectionTag(*b"SCHM");
 const TAG_GRID: SectionTag = SectionTag(*b"GRID");
 const TAG_HEADER: SectionTag = SectionTag(*b"HDRS");
 const TAG_CELLS: SectionTag = SectionTag(*b"CELL");
+const TAG_PYRAMID: SectionTag = SectionTag(*b"PYRA");
 const TAG_TRIE: SectionTag = SectionTag(*b"TRIE");
 const TAG_HITS: SectionTag = SectionTag(*b"HITS");
+
+/// Internal format byte of the `PYRA` section, independent of the
+/// container version: bump when the layer encoding changes, so a newer
+/// layer format in an otherwise-readable container is a typed error
+/// rather than garbage.
+const PYRA_FORMAT: u8 = 1;
 
 /// Digest over the *whole* snapshot state — block content plus the
 /// pieces [`GeoBlock::content_hash`] deliberately excludes (grid domain
@@ -64,10 +82,14 @@ const TAG_HITS: SectionTag = SectionTag(*b"HITS");
 /// re-derived at load: it is what makes a graft of one valid snapshot's
 /// `GRID`/`SCHM`/`TRIE`/`HITS` section onto another a typed error
 /// instead of silently wrong answers.
+/// `pyramid` is the pyramid **as serialized** (`None` for files without a
+/// `PYRA` section): a `None` contributes nothing to the hash stream, which
+/// keeps the digest of v1 files byte-for-byte what the v1 writer stored.
 fn state_hash(
     block: &GeoBlock,
     trie: Option<&AggregateTrie>,
     hits: Option<&FxHashMap<u64, u64>>,
+    pyramid: Option<&crate::AggPyramid>,
 ) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = gb_common::FxHasher::default();
@@ -98,6 +120,10 @@ fn state_hash(
             pairs.sort_unstable();
             pairs.hash(&mut h);
         }
+    }
+    // Absent pyramid: nothing appended — v1 digests stay reproducible.
+    if let Some(p) = pyramid {
+        p.content_hash().hash(&mut h);
     }
     h.finish()
 }
@@ -150,9 +176,23 @@ pub struct SnapshotRef<'a> {
 }
 
 impl SnapshotRef<'_> {
-    /// Serialize to the container format.
+    /// Serialize to the current container format (the block's pyramid, if
+    /// kept, travels in the `PYRA` section).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(true, SNAPSHOT_VERSION)
+    }
+
+    /// Serialize to the version-1 layout: no `PYRA` section, v1 state
+    /// hash. Kept so the rebuild-on-load path for pre-pyramid snapshots
+    /// stays testable end-to-end (`persist_check`, persistence tests)
+    /// without fixture files.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        self.encode(false, 1)
+    }
+
+    fn encode(self, include_pyramid: bool, version: u16) -> Vec<u8> {
         let b = self.block;
+        let pyramid = if include_pyramid { b.pyramid() } else { None };
         let mut out = SnapshotWriter::new();
 
         let mut w = ByteWriter::new();
@@ -188,7 +228,7 @@ impl SnapshotRef<'_> {
         w.f64_slice(&b.global_maxs);
         w.f64_slice(&b.global_sums);
         w.u64(b.content_hash());
-        w.u64(state_hash(b, self.trie, self.hits));
+        w.u64(state_hash(b, self.trie, self.hits, pyramid));
         out.section(TAG_HEADER, w.into_inner());
 
         let mut w = ByteWriter::with_capacity(b.num_cells() * b.record_bytes());
@@ -201,6 +241,22 @@ impl SnapshotRef<'_> {
         w.f64_slice(&b.maxs);
         w.f64_slice(&b.sums);
         out.section(TAG_CELLS, w.into_inner());
+
+        if let Some(pyramid) = pyramid {
+            let mut w = ByteWriter::new();
+            w.u8(PYRA_FORMAT);
+            w.u32(pyramid.n_cols as u32);
+            w.u32(pyramid.levels.len() as u32);
+            for layer in &pyramid.levels {
+                w.u8(layer.level);
+                w.u64_slice(&layer.keys);
+                w.u64_slice(&layer.counts);
+                w.f64_slice(&layer.mins);
+                w.f64_slice(&layer.maxs);
+                w.f64_slice(&layer.sums);
+            }
+            out.section(TAG_PYRAMID, w.into_inner());
+        }
 
         if let Some(trie) = self.trie {
             let parts = trie.to_raw_parts();
@@ -225,7 +281,7 @@ impl SnapshotRef<'_> {
             out.section(TAG_HITS, w.into_inner());
         }
 
-        out.into_bytes(SNAPSHOT_VERSION)
+        out.into_bytes(version)
     }
 
     /// Serialize and write to `path` (atomic temp-file + rename).
@@ -309,7 +365,7 @@ impl Snapshot {
         let sums = r.f64_vec()?;
         r.finish()?;
 
-        let block = GeoBlock {
+        let mut block = GeoBlock {
             grid,
             level,
             schema,
@@ -328,7 +384,13 @@ impl Snapshot {
             global_maxs,
             global_sums,
             dirty_offsets,
+            prefix_counts: Vec::new(),
+            prefix_sums: Vec::new(),
+            pyramid: None,
         };
+        // Prefix arrays are never serialized: derive them before
+        // validation (validate checks them against their defining folds).
+        block.rebuild_prefix();
         block
             .validate()
             .map_err(|e| SnapshotError::corrupt(format!("block: {e}")))?;
@@ -338,6 +400,46 @@ impl Snapshot {
                 "content hash mismatch: stored {stored_hash:#x}, decoded {actual:#x}"
             )));
         }
+
+        // The aggregate pyramid: decode + validate when present; absent
+        // (v1 files, compat writers) means rebuild-on-load below.
+        let stored_pyramid = match reader.section(TAG_PYRAMID) {
+            None => None,
+            Some(payload) => {
+                let mut r = ByteReader::new(payload, "section `PYRA`");
+                let format = r.u8()?;
+                if format != PYRA_FORMAT {
+                    return Err(SnapshotError::corrupt(format!(
+                        "unknown PYRA section format {format} (this build reads {PYRA_FORMAT})"
+                    )));
+                }
+                let n_cols = r.u32()? as usize;
+                let n_levels = r.u32()? as usize;
+                if n_levels > usize::from(gb_cell::MAX_LEVEL) {
+                    return Err(SnapshotError::corrupt(format!(
+                        "pyramid claims {n_levels} layers, grid has {} levels",
+                        gb_cell::MAX_LEVEL
+                    )));
+                }
+                let mut levels = Vec::with_capacity(n_levels);
+                for _ in 0..n_levels {
+                    levels.push(crate::pyramid::PyramidLevel {
+                        level: r.u8()?,
+                        keys: r.u64_vec()?,
+                        counts: r.u64_vec()?,
+                        mins: r.f64_vec()?,
+                        maxs: r.f64_vec()?,
+                        sums: r.f64_vec()?,
+                    });
+                }
+                r.finish()?;
+                let pyramid = crate::AggPyramid { n_cols, levels };
+                pyramid
+                    .validate(&block)
+                    .map_err(|e| SnapshotError::corrupt(format!("pyramid: {e}")))?;
+                Some(pyramid)
+            }
+        };
 
         let trie = match reader.section(TAG_TRIE) {
             None => None,
@@ -404,14 +506,33 @@ impl Snapshot {
         // Per-section checksums cannot catch sections *swapped* between
         // two individually-valid snapshots, and the block content hash
         // only covers HDRS + CELL. The state hash spans grid, schema,
-        // trie, and hit statistics too, so any cross-file graft fails
-        // here with a typed error instead of serving wrong answers.
-        let actual_state = state_hash(&block, trie.as_ref(), hits.as_ref());
+        // pyramid, trie, and hit statistics too, so any cross-file graft
+        // fails here with a typed error instead of serving wrong answers.
+        // (Computed over the pyramid *as stored* — before any rebuild —
+        // so v1 digests verify unchanged.)
+        let actual_state = state_hash(
+            &block,
+            trie.as_ref(),
+            hits.as_ref(),
+            stored_pyramid.as_ref(),
+        );
         if actual_state != stored_state_hash {
             return Err(SnapshotError::corrupt(format!(
                 "state hash mismatch: stored {stored_state_hash:#x}, decoded {actual_state:#x} \
-                 (grid/schema/trie/hits section does not belong to this snapshot)"
+                 (grid/schema/pyramid/trie/hits section does not belong to this snapshot)"
             )));
+        }
+        match stored_pyramid {
+            Some(p) => block.pyramid = Some(p),
+            // Rebuild-on-load for *pre-PYRA* files only: a v1 file cannot
+            // say whether its block had a pyramid, so the loader derives
+            // one from the decoded records (the fold is deterministic —
+            // exactly what a v2 save of the same block would store). A v2
+            // file without `PYRA` is a deliberately pyramid-less block
+            // (`GeoBlock::clear_pyramid`, memory-constrained deployments):
+            // honor it, don't resurrect the memory cost behind its back.
+            None if reader.version() < 2 => block.rebuild_pyramid(),
+            None => {}
         }
         Ok(Snapshot { block, trie, hits })
     }
@@ -590,6 +711,133 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshot_loads_via_pyramid_rebuild() {
+        // The version-1 layout has no PYRA section and a v1 state hash:
+        // loading must succeed and rebuild the pyramid in memory, ending
+        // up bit-identical to a v2 round-trip of the same block.
+        let b = block(1500, 8);
+        let v1 = SnapshotRef {
+            block: &b,
+            trie: None,
+            hits: None,
+        }
+        .to_bytes_v1();
+        assert_eq!(v1[8], 1, "compat writer must stamp version 1");
+        let back = Snapshot::from_bytes(&v1).expect("v1 file loads");
+        assert!(back.block.has_pyramid(), "pyramid rebuilt on load");
+        assert_eq!(back.block.content_hash(), b.content_hash());
+        assert_eq!(
+            back.block.pyramid().unwrap().content_hash(),
+            b.pyramid().unwrap().content_hash(),
+            "rebuilt pyramid must equal the built one"
+        );
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_pyramid_without_rebuild() {
+        let b = block(1200, 7);
+        let bytes = Snapshot::new(b.clone()).to_bytes();
+        let reader = SnapshotReader::from_bytes(&bytes, SNAPSHOT_VERSION).unwrap();
+        assert!(reader.section(TAG_PYRAMID).is_some(), "v2 writes PYRA");
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            back.block.pyramid().unwrap().content_hash(),
+            b.pyramid().unwrap().content_hash()
+        );
+    }
+
+    #[test]
+    fn cleared_pyramid_stays_cleared_across_v2_roundtrip() {
+        // clear_pyramid() is the documented memory-constrained mode: a v2
+        // save of such a block must NOT resurrect the pyramid on load
+        // (only pre-v2 files take the rebuild-on-load path).
+        let mut b = block(800, 7);
+        b.clear_pyramid();
+        let back = Snapshot::from_bytes(&Snapshot::new(b.clone()).to_bytes()).unwrap();
+        assert!(!back.block.has_pyramid(), "pyramid resurrected on load");
+        assert_eq!(back.block.content_hash(), b.content_hash());
+        // And it still answers queries through the fallback tiers.
+        back.block.check_invariants();
+    }
+
+    #[test]
+    fn pyramid_graft_is_rejected() {
+        // Two blocks with the same row count and level but different
+        // values: the grafted PYRA passes structural validation, so the
+        // state hash is the guard that must catch it.
+        let a = block(900, 7);
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v"), ColumnDef::i64("k")]));
+        let mut state = 1234u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 10_000) as f64 / 100.0
+        };
+        for i in 0..900 {
+            raw.push_row(
+                Point::new(next(), next()),
+                &[i as f64 * 2.0, (i % 3) as f64],
+            );
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        let base = extract(&raw, grid, &CleaningRules::none(), None).base;
+        let b = build(&base, 7, &Filter::all()).0;
+
+        let ra =
+            SnapshotReader::from_bytes(&Snapshot::new(a).to_bytes(), SNAPSHOT_VERSION).unwrap();
+        let rb =
+            SnapshotReader::from_bytes(&Snapshot::new(b).to_bytes(), SNAPSHOT_VERSION).unwrap();
+        let mut w = SnapshotWriter::new();
+        for tag in ra.tags() {
+            let payload = if tag == TAG_PYRAMID {
+                rb.require(tag).unwrap()
+            } else {
+                ra.require(tag).unwrap()
+            };
+            w.section(tag, payload.to_vec());
+        }
+        let err = Snapshot::from_bytes(&w.into_bytes(SNAPSHOT_VERSION)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_or_mangled_pyramid_section_is_a_typed_error() {
+        let b = block(800, 6);
+        let bytes = Snapshot::new(b).to_bytes();
+        let reader = SnapshotReader::from_bytes(&bytes, SNAPSHOT_VERSION).unwrap();
+        let payload = reader.require(TAG_PYRAMID).unwrap().to_vec();
+
+        let rebuild = |pyra: Vec<u8>| {
+            let mut w = SnapshotWriter::new();
+            for tag in reader.tags() {
+                let p = if tag == TAG_PYRAMID {
+                    pyra.clone()
+                } else {
+                    reader.require(tag).unwrap().to_vec()
+                };
+                w.section(tag, p);
+            }
+            w.into_bytes(SNAPSHOT_VERSION)
+        };
+
+        // Unknown internal format byte.
+        let mut m = payload.clone();
+        m[0] = 0xEE;
+        let err = Snapshot::from_bytes(&rebuild(m)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+        // Truncated payload (valid container checksum over fewer bytes):
+        // any typed error is acceptable, a panic is not.
+        assert!(Snapshot::from_bytes(&rebuild(payload[..payload.len() / 2].to_vec())).is_err());
+        // A value flip inside the stored layers: structure may survive,
+        // the state hash must not.
+        let mut m = payload.clone();
+        let mid = payload.len() / 2;
+        m[mid] ^= 0x40;
+        assert!(Snapshot::from_bytes(&rebuild(m)).is_err());
+    }
+
+    #[test]
     fn unknown_sections_are_ignored() {
         // Forward compatibility: a newer writer may add sections.
         let b = block(500, 6);
@@ -628,7 +876,7 @@ mod tests {
             Snapshot::from_bytes(&bytes).unwrap_err(),
             SnapshotError::UnsupportedVersion { .. }
         ));
-        bytes[8] = 1;
+        bytes[8] = SNAPSHOT_VERSION as u8;
         bytes[0] = b'X';
         assert!(matches!(
             Snapshot::from_bytes(&bytes).unwrap_err(),

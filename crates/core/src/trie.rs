@@ -59,6 +59,14 @@ pub struct CachedAgg<'a> {
 }
 
 impl CachedAgg<'_> {
+    /// Fold this cached record into `result` through a compiled plan —
+    /// the same single-record combine the pyramid path performs, so a
+    /// trie hit and a pyramid lookup of the same cell are bit-identical.
+    #[inline]
+    pub fn combine_into(&self, plan: &crate::aggregate::AggPlan, result: &mut crate::AggResult) {
+        result.combine_record_plan(plan, self.count, self.mins, self.maxs, self.sums);
+    }
+
     #[inline]
     pub fn min(&self, col: usize) -> f64 {
         self.mins[col]

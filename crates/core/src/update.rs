@@ -10,8 +10,11 @@
 //! tuples hitting existing cells update the aggregates in place; tuples in
 //! new regions are aggregated into fresh cell records that are then merged
 //! into the sorted layout (one splice). Both paths invalidate the base-data
-//! tuple offsets (the base data has not grown with the updates), so the
-//! block switches COUNT to the per-cell-count fallback via `dirty_offsets`.
+//! tuple offsets (the base data has not grown with the updates), flagged
+//! via `dirty_offsets`; COUNT stays O(1) per covering cell regardless,
+//! because it runs over the maintained count prefix, which — like the
+//! aggregate pyramid and the per-column sum prefixes — is rebuilt at the
+//! end of every batch.
 //!
 //! [`GeoBlockQC::apply_updates`] additionally refreshes every cached
 //! ancestor in the AggregateTrie with a single root-to-leaf walk per tuple.
@@ -112,6 +115,12 @@ impl GeoBlock {
         }
         self.min_cell = self.keys.first().copied().unwrap_or(0);
         self.max_cell = self.keys.last().copied().unwrap_or(0);
+        // The batch invalidated the derived structures (count/sum prefixes
+        // and every pyramid layer): rebuild them from the updated records
+        // with the canonical folds. Rebuilding — rather than propagating
+        // deltas — is what keeps pyramid lookups bit-identical to range
+        // scans after updates; see `DESIGN.md` "Aggregate pyramid".
+        self.refresh_derived();
         report
     }
 

@@ -62,10 +62,13 @@ fn main() {
         qstats.query_cells, qstats.cells_combined
     );
 
-    // 4. COUNT uses the Listing-2 range-sum: far fewer aggregate accesses.
+    // 4. COUNT uses the Listing-2 range-sum: two prefix probes per
+    // covering cell, independent of how many records the cell spans.
+    // (SELECT is just as frugal since the aggregate pyramid: one combined
+    // record per covering cell.)
     let (count, cstats) = block.count(neighborhood);
     println!(
-        "\nCOUNT = {count} touching only {} aggregates (vs {} for SELECT)",
+        "\nCOUNT = {count} touching {} aggregates ({} for SELECT)",
         cstats.cells_combined, qstats.cells_combined
     );
 
