@@ -14,14 +14,21 @@
 //!   phase timing to reproduce the paper's build-time tables).
 //! * [`fmt`] — human-readable byte/duration formatting for reports.
 //! * [`pool`] — a std-only scoped thread pool (`par_map`/`par_chunks`)
-//!   used by the parallel build and the concurrent query benchmarks.
+//!   used by the parallel build and the concurrent query benchmarks,
+//!   plus [`pool::spawn_join`] for panic-isolated one-off threads.
+//! * [`sync`] — rank-ordered lock wrappers ([`sync::OrderedMutex`],
+//!   [`sync::OrderedRwLock`]) that enforce the declared engine lock
+//!   order at runtime under `debug_assertions` and absorb poisoning;
+//!   the runtime half of the `gb_lint` `lock-order` rule.
 
 pub mod fmt;
 pub mod fxhash;
 pub mod pool;
 pub mod rng;
+pub mod sync;
 pub mod timer;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use pool::{default_threads, Pool};
+pub use pool::{default_threads, spawn_join, Pool};
+pub use sync::{OrderedMutex, OrderedRwLock};
 pub use timer::Timer;

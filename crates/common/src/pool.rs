@@ -43,6 +43,20 @@ pub struct Pool {
     threads: usize,
 }
 
+/// Run `f` on a fresh thread and join it, returning its result — or the
+/// panic payload as `Err` if it panicked. This is the sanctioned shape
+/// for one-off threads outside the pool (the `rogue-spawn` lint points
+/// here): panic isolation is explicit in the signature, and the thread
+/// cannot outlive the call, so nothing leaks past a test or a phase
+/// boundary.
+pub fn spawn_join<R, F>(f: F) -> std::thread::Result<R>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    std::thread::spawn(f).join()
+}
+
 impl Pool {
     /// A pool that runs tasks on `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {

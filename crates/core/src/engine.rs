@@ -29,17 +29,29 @@ use crate::qc::{self, CacheMetrics, RebuildPolicy};
 use crate::query::QueryStats;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::trie::AggregateTrie;
+use gb_common::sync::{OrderedMutex, OrderedRwLock};
 use gb_common::FxHashMap;
 use gb_data::AggSpec;
 use gb_geom::Polygon;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::Arc;
 
 /// Number of hit-statistic shards. A small power of two: enough to make
 /// same-lock collisions rare at typical thread counts, small enough that
 /// snapshotting all shards during a rebuild stays cheap.
 pub const N_SHARDS: usize = 16;
+
+/// The declared engine lock order (see `DESIGN.md` "Static analysis &
+/// invariants"): a lock may only be acquired while holding locks of
+/// strictly lower rank. `gb_lint`'s `lock-order` rule checks this
+/// statically; the [`OrderedMutex`]/[`OrderedRwLock`] wrappers check it
+/// on every acquisition under `debug_assertions`.
+const RANK_REBUILD_GUARD: u8 = 0;
+/// Rank of each hit-statistic shard (at most one shard held at a time).
+const RANK_SHARD: u8 = 1;
+/// Rank of the trie pointer (always last, held only for the swap/clone).
+const RANK_TRIE: u8 = 2;
 
 /// Pick the shard for a raw cell id (Fibonacci multiplicative hash — cell
 /// ids are structured bit patterns, so raw modulo would cluster).
@@ -54,13 +66,13 @@ fn shard_of(raw: u64) -> usize {
 /// `Arc<GeoBlockEngine>` (or borrowed across `std::thread::scope`).
 pub struct GeoBlockEngine {
     block: Arc<GeoBlock>,
-    trie: RwLock<Arc<AggregateTrie>>,
-    shards: Vec<Mutex<FxHashMap<u64, u64>>>,
+    trie: OrderedRwLock<Arc<AggregateTrie>>,
+    shards: Vec<OrderedMutex<FxHashMap<u64, u64>>>,
     threshold: f64,
     policy: RebuildPolicy,
     /// Serializes rebuilds so concurrent triggers don't duplicate the
     /// (expensive) trie construction. Never held while answering queries.
-    rebuild_guard: Mutex<()>,
+    rebuild_guard: OrderedMutex<()>,
     epoch: AtomicU64,
     /// Monotonic query counter for the `EveryN` policy: `fetch_add`
     /// returns each value exactly once, so exactly one thread observes
@@ -85,13 +97,17 @@ impl GeoBlockEngine {
         let root_cell = qc::root_cell_of(&block);
         let n_cols = block.schema().len();
         GeoBlockEngine {
-            trie: RwLock::new(Arc::new(AggregateTrie::new(root_cell, n_cols))),
+            trie: OrderedRwLock::new(
+                "trie",
+                RANK_TRIE,
+                Arc::new(AggregateTrie::new(root_cell, n_cols)),
+            ),
             shards: (0..N_SHARDS)
-                .map(|_| Mutex::new(FxHashMap::default()))
+                .map(|_| OrderedMutex::new("shard", RANK_SHARD, FxHashMap::default()))
                 .collect(),
             threshold,
             policy: RebuildPolicy::Manual,
-            rebuild_guard: Mutex::new(()),
+            rebuild_guard: OrderedMutex::new("rebuild_guard", RANK_REBUILD_GUARD, ()),
             epoch: AtomicU64::new(0),
             query_counter: AtomicUsize::new(0),
             probes: AtomicU64::new(0),
@@ -116,10 +132,7 @@ impl GeoBlockEngine {
 
     /// Snapshot of the current cache (the trie of the current epoch).
     pub fn trie_snapshot(&self) -> Arc<AggregateTrie> {
-        self.trie
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        self.trie.read().clone()
     }
 
     /// Cache budget in bytes (threshold × cell-aggregate bytes).
@@ -166,9 +179,7 @@ impl GeoBlockEngine {
             polygon,
             spec,
             &mut |raw| {
-                let mut shard = self.shards[shard_of(raw)]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner);
+                let mut shard = self.shards[shard_of(raw)].lock();
                 *shard.entry(raw).or_insert(0) += 1;
             },
             &mut metrics,
@@ -219,13 +230,11 @@ impl GeoBlockEngine {
     pub fn from_snapshot_state(snap: Snapshot, threshold: f64) -> Self {
         let engine = GeoBlockEngine::from_arc(Arc::new(snap.block), threshold);
         if let Some(trie) = snap.trie {
-            *engine.trie.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(trie);
+            *engine.trie.write() = Arc::new(trie);
         }
         if let Some(hits) = snap.hits {
             for (k, v) in hits {
-                let mut shard = engine.shards[shard_of(k)]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner);
+                let mut shard = engine.shards[shard_of(k)].lock();
                 *shard.entry(k).or_insert(0) += v;
             }
         }
@@ -237,7 +246,7 @@ impl GeoBlockEngine {
     fn snapshot_hits(&self) -> FxHashMap<u64, u64> {
         let mut merged = FxHashMap::default();
         for shard in &self.shards {
-            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let shard = shard.lock();
             for (&k, &v) in shard.iter() {
                 *merged.entry(k).or_insert(0) += v;
             }
@@ -247,10 +256,7 @@ impl GeoBlockEngine {
 
     /// Total distinct query cells tracked in the hit statistics.
     pub fn tracked_cells(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Rebuild the cache from the current hit statistics — the epoch-style
@@ -258,20 +264,15 @@ impl GeoBlockEngine {
     /// Concurrent callers are serialized; concurrent readers never wait on
     /// the construction, only (at worst) on the nanosecond-scale swap.
     pub fn rebuild_cache(&self) {
-        let _serialize = self
-            .rebuild_guard
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        // Lock order: rebuild_guard (0) is taken first and held across
+        // the shard (1) and trie (2) acquisitions below.
+        let _serialize = self.rebuild_guard.lock();
         let hits = self.snapshot_hits();
-        let root_cell = self
-            .trie
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .root_cell();
+        let root_cell = self.trie.read().root_cell();
         // Expensive part: no lock held.
         let fresh = qc::rebuild_trie(&self.block, root_cell, self.budget_bytes(), &hits);
         // Cheap part: swap the epoch pointer.
-        *self.trie.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(fresh);
+        *self.trie.write() = Arc::new(fresh);
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 }
@@ -418,27 +419,24 @@ mod tests {
 
         for i in 0..N_SHARDS {
             let e = Arc::clone(&engine);
-            let _ = std::thread::spawn(move || {
-                let _guard = e.shards[i].lock().unwrap();
+            let _ = gb_common::spawn_join(move || {
+                let _guard = e.shards[i].lock();
                 panic!("deliberate shard poison");
-            })
-            .join();
+            });
         }
         {
             let e = Arc::clone(&engine);
-            let _ = std::thread::spawn(move || {
-                let _guard = e.rebuild_guard.lock().unwrap();
+            let _ = gb_common::spawn_join(move || {
+                let _guard = e.rebuild_guard.lock();
                 panic!("deliberate guard poison");
-            })
-            .join();
+            });
         }
         {
             let e = Arc::clone(&engine);
-            let _ = std::thread::spawn(move || {
-                let _guard = e.trie.write().unwrap();
+            let _ = gb_common::spawn_join(move || {
+                let _guard = e.trie.write();
                 panic!("deliberate trie poison");
-            })
-            .join();
+            });
         }
         assert!(engine.shards.iter().all(|s| s.is_poisoned()));
 
@@ -509,7 +507,7 @@ mod tests {
         let non_empty = engine
             .shards
             .iter()
-            .filter(|s| !s.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
+            .filter(|s| !s.lock().is_empty())
             .count();
         assert!(non_empty > N_SHARDS / 2, "only {non_empty} shards used");
         assert!(engine.tracked_cells() > 0);

@@ -196,7 +196,7 @@ impl SnapshotRef<'_> {
         let mut out = SnapshotWriter::new();
 
         let mut w = ByteWriter::new();
-        w.u32(b.schema.len() as u32);
+        w.len_u32(b.schema.len());
         for col in b.schema.columns() {
             w.u8(match col.ty {
                 ColumnType::F64 => 0,
@@ -245,8 +245,8 @@ impl SnapshotRef<'_> {
         if let Some(pyramid) = pyramid {
             let mut w = ByteWriter::new();
             w.u8(PYRA_FORMAT);
-            w.u32(pyramid.n_cols as u32);
-            w.u32(pyramid.levels.len() as u32);
+            w.len_u32(pyramid.n_cols);
+            w.len_u32(pyramid.levels.len());
             for layer in &pyramid.levels {
                 w.u8(layer.level);
                 w.u64_slice(&layer.keys);
@@ -262,7 +262,7 @@ impl SnapshotRef<'_> {
             let parts = trie.to_raw_parts();
             let mut w = ByteWriter::new();
             w.u64(parts.root_cell.raw());
-            w.u32(parts.n_cols as u32);
+            w.len_u32(parts.n_cols);
             w.u32_slice(&parts.first_children);
             w.u32_slice(&parts.aggs);
             w.u64_slice(parts.agg_counts);

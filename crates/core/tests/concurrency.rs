@@ -213,6 +213,7 @@ fn engine_shared_via_arc_across_spawned_threads() {
             let spec = spec.clone();
             let poly = poly.clone();
             let want = want.clone();
+            // gb-lint: allow(rogue-spawn) -- the point of this test is N detached-then-joined owners of the Arc, not pool fan-out
             std::thread::spawn(move || {
                 for _ in 0..20 {
                     let (got, _) = engine.select(&poly, &spec);

@@ -166,8 +166,10 @@ pub fn selectivity_polygon(base: &BaseTable, target: f64) -> (Polygon, f64) {
     let n = base.num_rows();
     assert!(n > 0, "empty table");
     // Median-ish center: mean is fine for our unimodal-cluster mixes.
-    let cx = base.xs().iter().sum::<f64>() / n as f64;
-    let cy = base.ys().iter().sum::<f64>() / n as f64;
+    // These run single-threaded over a fixed row order during dataset
+    // generation, so the fold is deterministic without the kernels.
+    let cx = base.xs().iter().sum::<f64>() / n as f64; // gb-lint: allow(float-fold) -- serial dataset generation
+    let cy = base.ys().iter().sum::<f64>() / n as f64; // gb-lint: allow(float-fold) -- serial dataset generation
 
     let domain = base.grid().domain();
     let max_half = domain.width().max(domain.height());

@@ -1,0 +1,199 @@
+//! Grandfathered findings.
+//!
+//! A baseline lets the lint gate turn on *today* without first fixing
+//! every historical finding: known findings are recorded as
+//! `(rule, path, fingerprint-of-line)` entries and subtracted from each
+//! run. Fingerprints hash the trimmed source line, not the line number,
+//! so unrelated edits above a grandfathered site do not resurrect it —
+//! while any edit *to* the offending line makes the finding fresh again
+//! (the right default: touched code meets the current bar).
+//!
+//! Policy (see `DESIGN.md`): the baseline is for findings that are
+//! neither worth fixing now nor blessed forever. Code that is correct
+//! by design carries a `// gb-lint: allow(rule) -- why` instead, so the
+//! justification lives next to the code. New findings are never
+//! baselined without review; `--write-baseline` exists for the initial
+//! adoption and for deliberate, reviewed re-baselines.
+
+use crate::rules::Finding;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// FNV-1a 64 over the trimmed line: stable, dependency-free, and the
+/// same digest family the snapshot container uses.
+pub fn fingerprint(snippet: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in snippet.trim().as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A loaded baseline: `(rule, path, fingerprint) → remaining matches`.
+/// Identical lines in one file share a fingerprint, so entries carry a
+/// count and matching consumes them one finding at a time.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: HashMap<(String, String, u64), usize>,
+}
+
+impl Baseline {
+    /// Parse the on-disk format: one entry per line,
+    /// `rule <TAB> path <TAB> hex-fingerprint <TAB> count <TAB> snippet`,
+    /// `#` comments and blank lines ignored. The snippet field is for
+    /// human readers only — matching uses the fingerprint.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = HashMap::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(5, '\t');
+            let (rule, path, fp, count) =
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(r), Some(p), Some(f), Some(c)) => (r, p, f, c),
+                    _ => return Err(format!("baseline line {}: expected 4+ fields", no + 1)),
+                };
+            let fp = u64::from_str_radix(fp, 16)
+                .map_err(|_| format!("baseline line {}: bad fingerprint `{fp}`", no + 1))?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", no + 1))?;
+            *entries
+                .entry((rule.to_string(), path.to_string(), fp))
+                .or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Load from a file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read baseline {}: {e}", path.display())),
+        }
+    }
+
+    /// Number of entries (summed counts).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split `findings` into (fresh, grandfathered), consuming matches.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut remaining = self.entries.clone();
+        let mut fresh = Vec::new();
+        let mut old = Vec::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.path.clone(), fingerprint(&f.snippet));
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    old.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        (fresh, old)
+    }
+
+    /// Render `findings` as baseline file content.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counted: HashMap<(&str, &str, u64), (usize, &str)> = HashMap::new();
+        for f in findings {
+            let e = counted
+                .entry((f.rule, &f.path, fingerprint(&f.snippet)))
+                .or_insert((0, f.snippet.as_str()));
+            e.0 += 1;
+        }
+        let mut rows: Vec<String> = counted
+            .into_iter()
+            .map(|((rule, path, fp), (count, snippet))| {
+                format!("{rule}\t{path}\t{fp:016x}\t{count}\t{snippet}")
+            })
+            .collect();
+        rows.sort();
+        let mut out = String::from(
+            "# gb_lint baseline: grandfathered findings (rule, path, line-fingerprint, count, snippet)\n\
+             # Regenerate with `cargo run -p gb_lint -- --write-baseline`; see DESIGN.md for policy.\n",
+        );
+        for r in rows {
+            out.push_str(&r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, path: &str, line: usize, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_partition() {
+        let findings = vec![
+            f("float-fold", "a.rs", 10, "x.sum::<f64>()"),
+            f("float-fold", "a.rs", 20, "x.sum::<f64>()"), // same content twice
+            f("panic-path", "b.rs", 5, "y.unwrap()"),
+        ];
+        let text = Baseline::render(&findings);
+        let base = Baseline::parse(&text).expect("parses");
+        assert_eq!(base.len(), 3);
+
+        // Same findings again (lines moved): all grandfathered.
+        let moved = vec![
+            f("float-fold", "a.rs", 11, "  x.sum::<f64>()  "),
+            f("float-fold", "a.rs", 99, "x.sum::<f64>()"),
+            f("panic-path", "b.rs", 1, "y.unwrap()"),
+        ];
+        let (fresh, old) = base.partition(moved);
+        assert!(fresh.is_empty(), "{fresh:?}");
+        assert_eq!(old.len(), 3);
+
+        // A third identical occurrence exceeds the count: fresh.
+        let extra = vec![
+            f("float-fold", "a.rs", 1, "x.sum::<f64>()"),
+            f("float-fold", "a.rs", 2, "x.sum::<f64>()"),
+            f("float-fold", "a.rs", 3, "x.sum::<f64>()"),
+        ];
+        let (fresh, old) = base.partition(extra);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(old.len(), 2);
+
+        // Edited line → new fingerprint → fresh.
+        let edited = vec![f("panic-path", "b.rs", 5, "y.unwrap() // changed")];
+        let (fresh, _) = base.partition(edited);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/gb-lint-baseline")).expect("empty");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("only\ttwo\n").is_err());
+        assert!(Baseline::parse("r\tp\tnothex\t1\tsnip\n").is_err());
+        assert!(Baseline::parse("r\tp\tdeadbeef\tNaN\tsnip\n").is_err());
+        assert!(Baseline::parse("# comment\n\n").expect("ok").is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! The workspace-specific rule configuration: which modules must stay
+//! panic-free, where float folds are blessed, where threads may be
+//! spawned, the engine lock-order table, and which files get the strict
+//! narrowing-cast treatment.
+//!
+//! This is deliberately a checked-in Rust table rather than a config
+//! file: changing the invariant surface is a reviewed code change, and
+//! the table doubles as documentation (see `DESIGN.md` "Static analysis
+//! & invariants").
+
+/// Rule configuration for one workspace.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Modules where `panic-path` applies: decode/serve code that must
+    /// return typed errors instead of panicking. Entries ending in `/`
+    /// are directory prefixes; others are exact file paths (relative to
+    /// the workspace root, `/`-separated).
+    pub panic_free: Vec<String>,
+    /// Files whose float folds define the canonical in-order kernels;
+    /// `float-fold` fires everywhere else.
+    pub float_blessed: Vec<String>,
+    /// Files allowed to call `thread::spawn` (the pool is the only
+    /// sanctioned thread source).
+    pub spawn_blessed: Vec<String>,
+    /// Files where `lossy-cast` applies (length/offset decoding).
+    pub cast_checked: Vec<String>,
+    /// The declared engine lock order: a lock may only be acquired while
+    /// holding locks of *strictly lower* rank. Names are the receiver
+    /// identifiers as they appear at call sites.
+    pub lock_ranks: Vec<(String, u8)>,
+}
+
+impl Config {
+    /// The GeoBlocks workspace configuration.
+    pub fn workspace() -> Config {
+        let s = |v: &[&str]| v.iter().map(|p| (*p).to_string()).collect();
+        Config {
+            panic_free: s(&[
+                "crates/store/src/",
+                "crates/core/src/snapshot.rs",
+                "crates/core/src/engine.rs",
+                "crates/core/src/trie.rs",
+            ]),
+            float_blessed: s(&["crates/core/src/pyramid.rs", "crates/core/src/aggregate.rs"]),
+            spawn_blessed: s(&["crates/common/src/pool.rs"]),
+            cast_checked: s(&["crates/store/src/lib.rs", "crates/core/src/snapshot.rs"]),
+            // The GeoBlockEngine order: rebuild-guard, then hit-statistic
+            // shards, then the trie pointer. `shard` is the conventional
+            // loop-variable name for one element of `shards`.
+            lock_ranks: vec![
+                ("rebuild_guard".to_string(), 0),
+                ("shards".to_string(), 1),
+                ("shard".to_string(), 1),
+                ("trie".to_string(), 2),
+            ],
+        }
+    }
+
+    /// Does `path` fall under the `panic_free` module list?
+    pub fn is_panic_free(&self, path: &str) -> bool {
+        Self::listed(&self.panic_free, path)
+    }
+
+    /// Is `path` one of the blessed fold-kernel files?
+    pub fn is_float_blessed(&self, path: &str) -> bool {
+        Self::listed(&self.float_blessed, path)
+    }
+
+    /// May `path` spawn threads?
+    pub fn is_spawn_blessed(&self, path: &str) -> bool {
+        Self::listed(&self.spawn_blessed, path)
+    }
+
+    /// Does `path` get the narrowing-cast rule?
+    pub fn is_cast_checked(&self, path: &str) -> bool {
+        Self::listed(&self.cast_checked, path)
+    }
+
+    /// Rank of a lock receiver name, if it is a declared engine lock.
+    pub fn lock_rank(&self, name: &str) -> Option<u8> {
+        self.lock_ranks
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+    }
+
+    fn listed(list: &[String], path: &str) -> bool {
+        list.iter()
+            .any(|p| path == p || (p.ends_with('/') && path.starts_with(p.as_str())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_and_exact_matching() {
+        let cfg = Config::workspace();
+        assert!(cfg.is_panic_free("crates/store/src/lib.rs"));
+        assert!(cfg.is_panic_free("crates/core/src/snapshot.rs"));
+        assert!(!cfg.is_panic_free("crates/core/src/block.rs"));
+        assert!(cfg.is_float_blessed("crates/core/src/pyramid.rs"));
+        assert!(cfg.is_spawn_blessed("crates/common/src/pool.rs"));
+        assert!(!cfg.is_spawn_blessed("crates/core/src/engine.rs"));
+    }
+
+    #[test]
+    fn lock_ranks_are_ordered() {
+        let cfg = Config::workspace();
+        assert!(cfg.lock_rank("rebuild_guard") < cfg.lock_rank("shards"));
+        assert!(cfg.lock_rank("shards") < cfg.lock_rank("trie"));
+        assert_eq!(cfg.lock_rank("shard"), cfg.lock_rank("shards"));
+        assert_eq!(cfg.lock_rank("queue"), None);
+    }
+}

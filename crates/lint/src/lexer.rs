@@ -1,0 +1,442 @@
+//! A small Rust lexer for lint purposes.
+//!
+//! The rule engine must never fire inside a string literal, a comment, or
+//! a doc example — `"call .unwrap() here"` in an error message is not a
+//! panic site. This module scans a source file once and produces a
+//! *masked* view: byte-for-line identical structure where every character
+//! inside a string/char literal or comment is replaced by a space, so the
+//! rules can do plain substring matching on what is genuinely code.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! depth), byte and byte-raw strings, char literals (including escapes),
+//! and the char-vs-lifetime ambiguity (`'a'` is a literal, `'a` in
+//! `&'a str` is not).
+//!
+//! On top of the mask the lexer tracks two line-level properties:
+//!
+//! * **test regions** — lines inside a `#[cfg(test)]` or `#[test]` item
+//!   body (plus whole files under a `tests/` directory). Most rules give
+//!   test code a pass; rules that do not (e.g. `rogue-spawn`) say so.
+//! * **suppressions** — `// gb-lint: allow(rule-a, rule-b)` comments. A
+//!   directive suppresses matching findings on its own line and on the
+//!   line directly below it (so a standalone comment line can shield the
+//!   statement it documents).
+
+/// One scanned line of a source file.
+#[derive(Debug)]
+pub struct Line {
+    /// The line with string/char/comment interiors blanked to spaces.
+    pub masked: String,
+    /// The original source line (for reports and baseline fingerprints).
+    pub source: String,
+    /// True when the line sits inside a test region.
+    pub test: bool,
+    /// Rule names allowed by a `gb-lint: allow(…)` directive on this line.
+    pub allows: Vec<String>,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scan `src`. `whole_file_test` marks every line as test code
+    /// (integration-test files under `tests/`).
+    pub fn scan(path: impl Into<String>, src: &str, whole_file_test: bool) -> SourceFile {
+        let chars: Vec<char> = src.chars().collect();
+        let n = chars.len();
+        let mut masked = String::with_capacity(src.len());
+        // Comment text per line, for allow-directive parsing.
+        let mut comments: Vec<String> = vec![String::new()];
+        let mut line = 0usize;
+
+        // Push a source character that is *inside* a masked region.
+        // Newlines survive so line structure is preserved.
+        macro_rules! mask_push {
+            ($c:expr) => {{
+                let c = $c;
+                if c == '\n' {
+                    masked.push('\n');
+                    line += 1;
+                    comments.push(String::new());
+                } else {
+                    masked.push(' ');
+                }
+            }};
+        }
+
+        let mut i = 0usize;
+        while i < n {
+            let c = chars[i];
+            match c {
+                '/' if i + 1 < n && chars[i + 1] == '/' => {
+                    // Line comment: mask it, but remember its text.
+                    while i < n && chars[i] != '\n' {
+                        comments[line].push(chars[i]);
+                        mask_push!(chars[i]);
+                        i += 1;
+                    }
+                }
+                '/' if i + 1 < n && chars[i + 1] == '*' => {
+                    // Block comment, nesting-aware.
+                    let mut depth = 0usize;
+                    while i < n {
+                        if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                            depth += 1;
+                            comments[line].push_str("/*");
+                            mask_push!('/');
+                            mask_push!('*');
+                            i += 2;
+                        } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                            depth -= 1;
+                            comments[line].push_str("*/");
+                            mask_push!('*');
+                            mask_push!('/');
+                            i += 2;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else {
+                            if chars[i] != '\n' {
+                                comments[line].push(chars[i]);
+                            }
+                            mask_push!(chars[i]);
+                            i += 1;
+                        }
+                    }
+                }
+                '"' => i = Self::mask_string(&chars, i, &mut |c| mask_push!(c)),
+                'r' | 'b' if Self::raw_or_byte_start(&chars, i) => {
+                    // br"", b"", r"", r#""#, br#""# — consume prefix then
+                    // the (raw or plain) string body.
+                    let start = i;
+                    let mut j = i;
+                    if chars[j] == 'b' {
+                        j += 1;
+                    }
+                    let raw = j < n && chars[j] == 'r';
+                    if raw {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // Prefix chars are masked too (they are literal-ish).
+                    for &pc in &chars[start..j] {
+                        mask_push!(pc);
+                    }
+                    i = j;
+                    if raw {
+                        // Raw string: no escapes; ends at `"` + `hashes` #s.
+                        mask_push!('"');
+                        i += 1;
+                        while i < n {
+                            if chars[i] == '"' {
+                                let mut k = 0;
+                                while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    for _ in 0..=hashes {
+                                        mask_push!(chars[i]);
+                                        i += 1;
+                                    }
+                                    break;
+                                }
+                            }
+                            mask_push!(chars[i]);
+                            i += 1;
+                        }
+                    } else {
+                        i = Self::mask_string(&chars, i, &mut |c| mask_push!(c));
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime. A literal is `'` + escape
+                    // or single char + `'`; everything else is a lifetime.
+                    let is_char_lit = if i + 1 < n && chars[i + 1] == '\\' {
+                        true
+                    } else {
+                        i + 2 < n && chars[i + 2] == '\''
+                    };
+                    if is_char_lit {
+                        mask_push!('\'');
+                        i += 1;
+                        if i < n && chars[i] == '\\' {
+                            mask_push!('\\');
+                            i += 1;
+                            // Escape payload up to the closing quote.
+                            while i < n && chars[i] != '\'' {
+                                mask_push!(chars[i]);
+                                i += 1;
+                            }
+                        } else if i < n {
+                            mask_push!(chars[i]);
+                            i += 1;
+                        }
+                        if i < n && chars[i] == '\'' {
+                            mask_push!('\'');
+                            i += 1;
+                        }
+                    } else {
+                        // Lifetime: keep as code.
+                        masked.push('\'');
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    masked.push('\n');
+                    line += 1;
+                    comments.push(String::new());
+                    i += 1;
+                }
+                _ => {
+                    masked.push(c);
+                    i += 1;
+                }
+            }
+        }
+
+        let src_lines: Vec<&str> = src.split('\n').collect();
+        let masked_lines: Vec<&str> = masked.split('\n').collect();
+        let test_lines = Self::test_regions(&masked_lines, whole_file_test);
+
+        let mut lines = Vec::with_capacity(masked_lines.len());
+        for (idx, m) in masked_lines.iter().enumerate() {
+            lines.push(Line {
+                masked: (*m).to_string(),
+                source: src_lines.get(idx).copied().unwrap_or("").to_string(),
+                test: test_lines.get(idx).copied().unwrap_or(whole_file_test),
+                allows: Self::parse_allows(comments.get(idx).map(String::as_str).unwrap_or("")),
+            });
+        }
+        SourceFile {
+            path: path.into(),
+            lines,
+        }
+    }
+
+    /// True when `chars[i]` starts a raw/byte string prefix (and is not
+    /// just an identifier that happens to begin with `r` or `b`).
+    fn raw_or_byte_start(chars: &[char], i: usize) -> bool {
+        if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+            return false; // mid-identifier
+        }
+        let n = chars.len();
+        let mut j = i;
+        if chars[j] == 'b' {
+            j += 1;
+            if j < n && chars[j] == '\'' {
+                return false; // byte char literal: let the '\'' arm handle it
+            }
+        }
+        if j < n && chars[j] == 'r' {
+            j += 1;
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+        }
+        j < n && chars[j] == '"' && j > i
+    }
+
+    /// Mask a plain (escaped) string starting at the opening quote;
+    /// returns the index just past the closing quote.
+    fn mask_string(chars: &[char], mut i: usize, push: &mut impl FnMut(char)) -> usize {
+        let n = chars.len();
+        push('"');
+        i += 1;
+        while i < n {
+            match chars[i] {
+                '\\' if i + 1 < n => {
+                    push('\\');
+                    push(chars[i + 1]);
+                    i += 2;
+                }
+                '"' => {
+                    push('"');
+                    i += 1;
+                    break;
+                }
+                c => {
+                    push(c);
+                    i += 1;
+                }
+            }
+        }
+        i
+    }
+
+    /// Mark lines inside `#[cfg(test)]` / `#[test]` item bodies. The
+    /// attribute arms the *next* `{`; the region runs until its matching
+    /// `}`. A `;` before any `{` (e.g. `#[cfg(test)] use x;`) disarms.
+    fn test_regions(masked_lines: &[&str], whole_file: bool) -> Vec<bool> {
+        let mut out = vec![whole_file; masked_lines.len()];
+        if whole_file {
+            return out;
+        }
+        let mut depth: i64 = 0;
+        let mut pending = false;
+        let mut regions: Vec<i64> = Vec::new(); // depth at which each region closes
+        for (idx, line) in masked_lines.iter().enumerate() {
+            let bytes = line.as_bytes();
+            let mut j = 0usize;
+            if !regions.is_empty() {
+                out[idx] = true;
+            }
+            while j < bytes.len() {
+                let rest = &bytes[j..];
+                if rest.starts_with(b"#[cfg(test)]") || rest.starts_with(b"#[test]") {
+                    pending = true;
+                    j += if rest.starts_with(b"#[test]") { 7 } else { 12 };
+                    continue;
+                }
+                match bytes[j] {
+                    b'{' => {
+                        if pending {
+                            regions.push(depth);
+                            pending = false;
+                            out[idx] = true;
+                        }
+                        depth += 1;
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if regions.last().is_some_and(|&d| depth <= d) {
+                            regions.pop();
+                        }
+                    }
+                    b';' if pending => pending = false,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !regions.is_empty() {
+                out[idx] = true;
+            }
+        }
+        out
+    }
+
+    /// Parse `gb-lint: allow(a, b)` out of a line's comment text.
+    fn parse_allows(comment: &str) -> Vec<String> {
+        let Some(at) = comment.find("gb-lint:") else {
+            return Vec::new();
+        };
+        let rest = &comment[at + "gb-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            return Vec::new();
+        };
+        let body = &rest[open + "allow(".len()..];
+        let Some(close) = body.find(')') else {
+            return Vec::new();
+        };
+        body[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    }
+
+    /// Whether findings of `rule` on 0-based line `idx` are suppressed by
+    /// an allow directive on that line or the line above.
+    pub fn allowed(&self, idx: usize, rule: &str) -> bool {
+        let hit = |i: usize| {
+            self.lines
+                .get(i)
+                .is_some_and(|l| l.allows.iter().any(|a| a == rule || a == "all"))
+        };
+        hit(idx) || (idx > 0 && hit(idx - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        SourceFile::scan("t.rs", src, false)
+            .lines
+            .iter()
+            .map(|l| l.masked.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let m = masked("let x = \"a.unwrap()\"; // .unwrap()\nx.unwrap();");
+        assert!(!m.lines().next().unwrap().contains("unwrap"));
+        assert!(m.lines().nth(1).unwrap().contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let m = masked("let s = r#\"panic! \"quoted\" panic!\"#; panic!();");
+        assert_eq!(m.matches("panic!").count(), 1);
+        let m = masked("let s = br##\"thread::spawn\"##; ok();");
+        assert!(!m.contains("spawn"));
+        assert!(m.contains("ok()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = masked("/* outer /* inner .unwrap() */ still */ x.unwrap()");
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // A char literal containing a quote-relevant char must be masked;
+        // lifetimes must survive as code.
+        let m = masked("let c = '\"'; let s: &'static str = x; y.unwrap()");
+        assert!(m.contains("&'static str"));
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+        let m = masked("let c = '\\''; z.unwrap()");
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn test_region_tracking() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() { y.unwrap(); }\n\
+                   }\n\
+                   fn c() { z.unwrap(); }";
+        let f = SourceFile::scan("t.rs", src, false);
+        assert!(!f.lines[0].test);
+        assert!(f.lines[3].test);
+        assert!(!f.lines[5].test, "region must close after the mod");
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_open_a_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() { z(); }";
+        let f = SourceFile::scan("t.rs", src, false);
+        assert!(!f.lines[2].test);
+    }
+
+    #[test]
+    fn allow_directives_cover_same_and_next_line() {
+        let src = "a(); // gb-lint: allow(panic-path, float-fold)\nb();\nc();";
+        let f = SourceFile::scan("t.rs", src, false);
+        assert!(f.allowed(0, "panic-path"));
+        assert!(f.allowed(0, "float-fold"));
+        assert!(f.allowed(1, "panic-path"), "next line is covered");
+        assert!(!f.allowed(2, "panic-path"));
+        assert!(!f.allowed(0, "rogue-spawn"));
+    }
+
+    #[test]
+    fn whole_file_test_flag() {
+        let f = SourceFile::scan("tests/x.rs", "fn a() { x.unwrap(); }", true);
+        assert!(f.lines[0].test);
+    }
+}

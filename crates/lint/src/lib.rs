@@ -1,0 +1,146 @@
+//! `gb_lint` — the GeoBlocks workspace invariant checker.
+//!
+//! The repo's correctness story rests on invariants that no compiler
+//! pass enforces: decode/serve paths never panic (they return typed
+//! errors), float aggregates only come from the canonical in-order fold
+//! kernels (so parallel == serial bit-for-bit), all concurrency goes
+//! through `gb_common::pool`, and `GeoBlockEngine`'s locks are acquired
+//! in a declared order. This crate turns those conventions into a CI
+//! gate: a dependency-free static pass over the workspace source.
+//!
+//! * [`lexer`] — a small Rust lexer that masks strings/chars/comments
+//!   and tracks `#[cfg(test)]` regions, so rules only see real code.
+//! * [`rules`] — the rule engine: `panic-path`, `float-fold`,
+//!   `rogue-spawn`, `lock-order`, `lossy-cast`.
+//! * [`config`] — the workspace-specific scoping tables (which modules
+//!   are panic-free, the lock-order ranks, …).
+//! * [`baseline`] — grandfathered findings, fingerprinted by line
+//!   content so they survive unrelated edits but not edits to the line.
+//!
+//! Suppression is per-line: `// gb-lint: allow(rule) -- justification`.
+//! The static `lock-order` rule has a runtime counterpart in
+//! `gb_common::sync` (`OrderedMutex`/`OrderedRwLock`), which checks the
+//! same declared order on every acquisition under `debug_assertions`.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use config::Config;
+pub use lexer::SourceFile;
+pub use rules::{check_file, Finding, RuleInfo, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned: vendored shims are third-party API
+/// surface, build outputs are generated.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github", ".claude"];
+
+/// Result of a full workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by an allow directive or the baseline.
+    pub fresh: Vec<Finding>,
+    /// Findings matched (and consumed) by baseline entries.
+    pub grandfathered: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Collect every `.rs` file under `root`, skipping `SKIP_DIRS`
+/// (vendor, target, dot-directories), sorted for deterministic output.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The workspace-relative, `/`-separated form of `path`.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/")
+}
+
+/// Lint one file (already read) against `cfg`. Allow directives are
+/// applied here; baseline subtraction happens in [`run`].
+pub fn lint_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let whole_file_test = rel_path.split('/').any(|c| c == "tests");
+    let file = SourceFile::scan(rel_path, source, whole_file_test);
+    check_file(&file, cfg)
+}
+
+/// Lint the whole workspace under `root`; `baseline` (if any) absorbs
+/// grandfathered findings.
+pub fn run(root: &Path, cfg: &Config, baseline: Option<&Baseline>) -> std::io::Result<Report> {
+    let mut findings = Vec::new();
+    let files = collect_files(root)?;
+    let files_scanned = files.len();
+    for path in files {
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&relative(root, &path), &source, cfg));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let (fresh, grandfathered) = match baseline {
+        Some(b) => b.partition(findings),
+        None => (findings, Vec::new()),
+    };
+    Ok(Report {
+        fresh,
+        grandfathered,
+        files_scanned,
+    })
+}
+
+/// Default baseline location: checked in next to the linter itself.
+pub fn default_baseline_path(root: &Path) -> PathBuf {
+    root.join("crates/lint/baseline.txt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_are_slash_separated() {
+        let root = Path::new("/w");
+        assert_eq!(
+            relative(root, Path::new("/w/crates/core/src/engine.rs")),
+            "crates/core/src/engine.rs"
+        );
+    }
+
+    #[test]
+    fn tests_dirs_are_whole_file_test_regions() {
+        let cfg = Config::workspace();
+        // unwrap in an integration test of a panic-free crate: exempt.
+        let f = lint_source("crates/store/tests/x.rs", "fn t() { x.unwrap(); }", &cfg);
+        assert!(f.is_empty(), "{f:?}");
+        // but rogue-spawn still applies there.
+        let f = lint_source(
+            "crates/store/tests/x.rs",
+            "fn t() { std::thread::spawn(|| {}); }",
+            &cfg,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "rogue-spawn");
+    }
+}

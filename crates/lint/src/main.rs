@@ -1,0 +1,162 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! gb_lint [--root DIR] [--baseline[=PATH]] [--no-baseline]
+//!         [--write-baseline] [--list-rules] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 — clean (modulo baseline), 1 — fresh findings,
+//! 2 — usage or I/O error. CI runs `cargo run -p gb_lint -- --baseline`
+//! as a required gate; the same invocation is the local pre-push check.
+
+use gb_lint::{default_baseline_path, Baseline, Config, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline_path: Option<PathBuf>,
+    use_baseline: bool,
+    write_baseline: bool,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: gb_lint [--root DIR] [--baseline[=PATH]] [--no-baseline]\n\
+     \x20              [--write-baseline] [--list-rules] [--quiet]\n\
+     \n\
+     Checks the workspace source against the invariant rules (panic-path,\n\
+     float-fold, rogue-spawn, lock-order, lossy-cast). Exit 0 when clean\n\
+     (after baseline subtraction), 1 on any fresh finding, 2 on usage/IO\n\
+     errors. Suppress a single line with `// gb-lint: allow(rule) -- why`."
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: std::env::current_dir().map_err(|e| e.to_string())?,
+        baseline_path: None,
+        use_baseline: true,
+        write_baseline: false,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = PathBuf::from(v);
+            }
+            "--baseline" => args.use_baseline = true,
+            "--no-baseline" => args.use_baseline = false,
+            "--write-baseline" => args.write_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => {
+                if let Some(p) = other.strip_prefix("--baseline=") {
+                    args.baseline_path = Some(PathBuf::from(p));
+                } else {
+                    return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("gb_lint: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in RULES {
+            println!("{:<12} {}", r.name, r.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !args.root.join("Cargo.toml").exists() {
+        eprintln!(
+            "gb_lint: {} does not look like the workspace root (no Cargo.toml); use --root",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let baseline_path = args
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| default_baseline_path(&args.root));
+    let cfg = Config::workspace();
+
+    if args.write_baseline {
+        let report = match gb_lint::run(&args.root, &cfg, None) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("gb_lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let text = Baseline::render(&report.fresh);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("gb_lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "gb_lint: wrote {} entries to {}",
+            report.fresh.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if args.use_baseline {
+        match Baseline::load(&baseline_path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("gb_lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    let report = match gb_lint::run(&args.root, &cfg, baseline.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gb_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.fresh {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        if !args.quiet {
+            println!("    {}", f.snippet);
+        }
+    }
+    if !args.quiet {
+        println!(
+            "gb_lint: {} files scanned, {} fresh finding(s), {} grandfathered",
+            report.files_scanned,
+            report.fresh.len(),
+            report.grandfathered.len()
+        );
+    }
+    if report.fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,56 @@
+//! The self-test: the workspace this linter ships in must itself lint
+//! clean (modulo the checked-in baseline). This is the same check CI
+//! runs via `cargo run -p gb_lint -- --baseline`, expressed as a plain
+//! test so `cargo test` alone catches a fresh finding.
+
+use gb_lint::{default_baseline_path, Baseline, Config};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → crates → workspace root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+#[test]
+fn workspace_has_no_fresh_findings() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "did not find the workspace root at {}",
+        root.display()
+    );
+    let baseline = Baseline::load(&default_baseline_path(&root)).expect("baseline parses");
+    let report = gb_lint::run(&root, &Config::workspace(), Some(&baseline)).expect("lint runs");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}): wrong root?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .fresh
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.snippet.trim()))
+        .collect();
+    assert!(
+        report.fresh.is_empty(),
+        "fresh lint findings — fix them or (for report-only code) baseline them:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn baseline_entries_still_match_real_findings() {
+    // A baseline entry whose line was edited or removed no longer
+    // matches anything; stale entries should be pruned, not accreted.
+    let root = workspace_root();
+    let baseline = Baseline::load(&default_baseline_path(&root)).expect("baseline parses");
+    let report = gb_lint::run(&root, &Config::workspace(), Some(&baseline)).expect("lint runs");
+    assert_eq!(
+        report.grandfathered.len(),
+        baseline.len(),
+        "stale baseline entries: regenerate with `cargo run -p gb_lint -- --write-baseline`"
+    );
+}

@@ -188,7 +188,7 @@ impl SnapshotWriter {
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
-        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32_value(self.sections.len()).to_le_bytes());
         for (tag, payload) in &self.sections {
             out.extend_from_slice(&tag.0);
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -331,6 +331,17 @@ impl SnapshotReader {
     }
 }
 
+/// Checked `usize → u32` narrowing for length prefixes. Every in-memory
+/// collection written with a u32 prefix (schema columns, pyramid levels,
+/// section counts, string bytes) is bounded far below `u32::MAX` by
+/// construction; a longer input means a corrupted producer, and a
+/// silently truncated prefix would desynchronize the whole stream — so
+/// this is the one place the encoder is allowed to panic.
+fn len_u32_value(len: usize) -> u32 {
+    // gb-lint: allow(panic-path) -- encoder precondition: u32-prefixed lengths are < 4 GiB by construction
+    u32::try_from(len).expect("length overflows the u32 snapshot prefix")
+}
+
 /// Little-endian primitive encoder for section payloads.
 #[derive(Debug, Default)]
 pub struct ByteWriter {
@@ -373,9 +384,15 @@ impl ByteWriter {
         self.u64(v.to_bits());
     }
 
+    /// Write a `usize` length as its checked u32 prefix (see
+    /// `len_u32_value` for why overflow is a panic, not an `Err`).
+    pub fn len_u32(&mut self, len: usize) {
+        self.u32(len_u32_value(len));
+    }
+
     /// Length-prefixed (u32) UTF-8 string.
     pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+        self.len_u32(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
 
@@ -447,20 +464,33 @@ impl<'a> ByteReader<'a> {
         }
     }
 
+    /// Read exactly `N` bytes as an array. `bytes(N)` already guarantees
+    /// the length, so the conversion cannot fail — but it is still
+    /// surfaced as `Truncated` rather than a panic, keeping the whole
+    /// decode path free of panicking branches.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        self.bytes(N)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated {
+                context: self.context,
+            })
+    }
+
     pub fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.bytes(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     pub fn u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     pub fn f64(&mut self) -> Result<f64, SnapshotError> {
