@@ -63,11 +63,11 @@ impl SpatialAggIndex for BlockQcIndex {
     }
 
     fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> AggResult {
-        self.qc.select(polygon, spec).0
+        self.qc.select(polygon, spec).result
     }
 
     fn count(&mut self, polygon: &Polygon) -> u64 {
-        self.qc.count(polygon).0
+        self.qc.count(polygon).result
     }
 
     fn index_bytes(&self) -> usize {

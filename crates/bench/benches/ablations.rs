@@ -156,7 +156,7 @@ fn ablate_cache(c: &mut Criterion) {
         b.iter(|| {
             let poly = &hot[i % hot.len()];
             i += 1;
-            black_box(warm.select(poly, &spec).0.count)
+            black_box(warm.select(poly, &spec).result.count)
         })
     });
     g.finish();

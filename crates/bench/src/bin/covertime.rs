@@ -42,7 +42,7 @@ fn main() {
     let mut n = 0u64;
     for _ in 0..20 {
         for p in hot {
-            n += qc.select(p, &spec).0.count;
+            n += qc.select(p, &spec).result.count;
         }
     }
     let qc_us = t.elapsed_us() / 120.0;

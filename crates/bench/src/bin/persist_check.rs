@@ -71,10 +71,10 @@ fn main() {
     warm.reset_metrics();
     let mut identical = true;
     for p in &polys {
-        let (a, _) = warm.select(p, &spec);
-        let (b, _) = engine.select(p, &spec);
-        identical &= a.approx_eq(&b, 0.0);
-        identical &= warm.count(p).0 == engine.count(p).0;
+        let a = warm.select(p, &spec);
+        let b = engine.select(p, &spec);
+        identical &= a.result.approx_eq(&b.result, 0.0);
+        identical &= warm.count(p).result == engine.count(p).result;
     }
     gate.check(
         "loaded engine answers bit-identically",

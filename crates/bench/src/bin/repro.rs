@@ -6,17 +6,27 @@
 //! ```text
 //! repro <experiment|all> [--scale F] [--seed N] [--write PATH]
 //!                        [--threads LIST] [--json PATH]
+//! repro serve [--addr HOST:PORT] [--scale F] [--seed N]
+//! repro serve-bench [--clients N] [--scale F] [--seed N] [--json PATH]
 //!
 //!   experiments: fig10 fig11a fig11b fig11c table2 fig12 fig13 fig14
-//!                fig15 fig16 fig17 fig18 fig19 scale-threads persist all
+//!                fig15 fig16 fig17 fig18 fig19 scale-threads persist
+//!                serve-bench all
 //!   --scale F      multiply dataset sizes (default 1.0; 30 ≈ paper scale)
 //!   --seed N       master RNG seed (default 42)
 //!   --write PATH   also append the markdown reports to PATH
 //!   --threads LIST comma-separated thread counts for scale-threads
 //!                  (default "1,2,4,8")
+//!   --clients N    concurrent load-generator clients for serve-bench
+//!                  (default 4; also sets the server's worker count)
+//!   --addr A       bind address for `serve` (default 127.0.0.1:7171)
 //!   --json PATH    write machine-readable BenchRecords (JSON lines) —
-//!                  scale-threads and persist produce them
+//!                  scale-threads, persist, and serve-bench produce them
 //! ```
+//!
+//! `serve` builds the primary dataset, wraps it in a `gb_serve` server,
+//! and blocks in the foreground until killed — the manual smoke-test
+//! companion to `serve-bench`.
 //!
 //! Errors (unknown columns, unwritable output files) are printed as one
 //! clean line on stderr and exit with status 1 — the driver never
@@ -29,8 +39,8 @@ use gb_bench::Ctx;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|scale-threads|persist|all> \
-         [--scale F] [--seed N] [--write PATH] [--threads LIST] [--json PATH]"
+        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|scale-threads|persist|serve|serve-bench|all> \
+         [--scale F] [--seed N] [--write PATH] [--threads LIST] [--clients N] [--addr A] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -52,6 +62,8 @@ fn run() -> Result<(), String> {
     let mut write_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut clients: usize = 4;
+    let mut addr = "127.0.0.1:7171".to_string();
 
     let mut i = 1;
     while i < args.len() {
@@ -93,9 +105,25 @@ fn run() -> Result<(), String> {
                     usage();
                 }
             }
+            "--clients" => {
+                i += 1;
+                clients = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&c| c > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
+    }
+
+    if exp == "serve" {
+        return serve_foreground(&ctx, &addr);
     }
 
     eprintln!("# repro: {exp} (scale {}, seed {})", ctx.scale, ctx.seed);
@@ -121,6 +149,11 @@ fn run() -> Result<(), String> {
         }
         "persist" => {
             let (rep, recs) = experiments::persist(&ctx)?;
+            bench_records = recs;
+            vec![rep]
+        }
+        "serve-bench" => {
+            let (rep, recs) = experiments::serve_bench(&ctx, clients)?;
             bench_records = recs;
             vec![rep]
         }
@@ -157,4 +190,38 @@ fn run() -> Result<(), String> {
         eprintln!("# wrote {} bench record(s) to {path}", bench_records.len());
     }
     Ok(())
+}
+
+/// `repro serve`: build the primary dataset, wrap it in a `gb_serve`
+/// server on `addr`, and block until the process is killed.
+fn serve_foreground(ctx: &Ctx, addr: &str) -> Result<(), String> {
+    use gb_data::{datasets, extract, Filter, Rows};
+    use gb_serve::{GbServer, RunningServer, ServeConfig};
+    use std::sync::Arc;
+
+    eprintln!(
+        "# building primary dataset (scale {}, seed {})...",
+        ctx.scale, ctx.seed
+    );
+    let t = gb_common::Timer::start();
+    let ds = datasets::nyc_taxi(ctx.rows(200_000), ctx.seed);
+    let base = extract(&ds.raw, ds.grid, &datasets::nyc_cleaning_rules(), None).base;
+    let (block, _) = geoblocks::build(&base, 12, &Filter::all());
+    let engine = Arc::new(geoblocks::GeoBlockEngine::new(block, 0.1));
+    eprintln!(
+        "# built {} rows in {:.1} s",
+        base.num_rows(),
+        t.elapsed().as_secs_f64()
+    );
+
+    let server = GbServer::new(engine, ServeConfig::default());
+    let running = RunningServer::start(server, addr)
+        .map_err(|e| format!("cannot start server on {addr}: {e}"))?;
+    eprintln!("# serving on http://{}", running.addr());
+    eprintln!("#   POST /v1/select /v1/count /v1/update /v1/query (wire bodies)");
+    eprintln!("#   GET  /metrics /healthz");
+    eprintln!("# ctrl-c to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }

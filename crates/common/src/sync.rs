@@ -50,7 +50,7 @@ impl RankToken {
                 panic!(
                     "lock-order violation: acquiring `{name}` (rank {rank}) while holding \
                      `{held_name}` (rank {held_rank}); locks must be taken in strictly \
-                     increasing rank order (rebuild_guard=0 < shards=1 < trie=2)"
+                     increasing rank order (rebuild_guard=0 < shards=1 < state=2)"
                 );
             }
             held.push((rank, name));

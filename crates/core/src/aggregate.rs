@@ -281,6 +281,24 @@ impl AggResult {
         self
     }
 
+    /// Reassemble a result from its wire parts (the `api` reply codec).
+    /// The parts came from an encoded result, so no re-validation against
+    /// a spec happens here — decode-side length checks live in `api`.
+    pub(crate) fn from_wire(count: u64, values: Vec<f64>, finalized: bool) -> AggResult {
+        AggResult {
+            count,
+            values,
+            finalized,
+        }
+    }
+
+    /// Whether [`AggResult::finalize`] has resolved the `Avg`/`Count`
+    /// slots. Engine/QC replies are always finalized; accumulators in
+    /// flight are not.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
     /// Value of the `i`-th requested aggregate. `None` when no tuples
     /// matched and the aggregate is undefined (min/max/avg of nothing —
     /// left as ±∞/NaN sentinels by the accumulator).

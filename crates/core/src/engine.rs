@@ -1,39 +1,53 @@
 //! A concurrent, shared-nothing-write read path over GeoBlocks.
 //!
 //! [`GeoBlockEngine`] is the `Send + Sync` counterpart of
-//! [`crate::GeoBlockQC`]: many threads answer SELECT/COUNT queries over
-//! one immutable [`GeoBlock`] while the query cache adapts underneath
-//! them. The paper's single-threaded mutable state is made concurrent
-//! with three mechanisms, each chosen so *readers never block on a cache
-//! rebuild*:
+//! [`crate::GeoBlockQC`]: many threads answer SELECT/COUNT queries while
+//! the query cache adapts — and, since the typed-API redesign, while
+//! update batches commit — underneath them. The paper's single-threaded
+//! mutable state is made concurrent with three mechanisms, each chosen so
+//! *readers never block on a rebuild or an update*:
 //!
-//! * **Immutable block sharing** — the block lives in an `Arc<GeoBlock>`;
-//!   queries only ever read it.
+//! * **Epoch-swapped engine state** — the block, the [`AggregateTrie`],
+//!   and the **data epoch** live together in one immutable
+//!   `EngineState` behind `RwLock<Arc<EngineState>>`. A query clones
+//!   the `Arc` (read lock held for nanoseconds) and works on a fully
+//!   consistent `(block, trie, epoch)` triple for its whole run — a
+//!   concurrent update can never show it a half-new world. Updates and
+//!   cache rebuilds construct the next state entirely *outside* the
+//!   lock, then write-lock only to swap the pointer.
 //! * **Sharded hit statistics** — the §3.6 per-cell hit counters are
 //!   split across [`N_SHARDS`] small mutex-guarded maps keyed by a hash
 //!   of the cell id, so concurrent queries rarely contend on the same
 //!   lock, and a rebuild snapshots each shard in turn without stopping
 //!   the world.
-//! * **Epoch-style trie swap** — the [`AggregateTrie`] sits behind
-//!   `RwLock<Arc<AggregateTrie>>`. A query clones the `Arc` (read lock
-//!   held for nanoseconds) and probes its private snapshot for the whole
-//!   query. A rebuild constructs the new trie entirely *outside* the
-//!   lock, then write-locks only to swap the pointer and bump the epoch.
-//!   In-flight queries keep answering from the previous epoch's trie —
-//!   results are identical either way (both tries cache exact prefix
-//!   aggregates), so there is no torn state to observe.
+//! * **Two epochs, two jobs** — the *data epoch* (in the state, bumped
+//!   by [`GeoBlockEngine::apply_updates`]) decides answer validity and
+//!   is what [`crate::api::QueryResponse::epoch`] reports: a cached
+//!   response may be replayed only while the engine still reports its
+//!   epoch. The *cache epoch* ([`GeoBlockEngine::cache_epoch`], bumped
+//!   by rebuilds) only tracks performance adaptation — rebuilds never
+//!   change answers, so they leave the data epoch alone.
+//!
+//! The canonical entry point is [`GeoBlockEngine::query`] on the typed
+//! [`QueryRequest`]/[`QueryReply`] values from [`crate::api`]; the typed
+//! convenience methods ([`GeoBlockEngine::select`] /
+//! [`GeoBlockEngine::count`]) return [`QueryResponse`] values carrying
+//! the same epoch. The pre-redesign tuple shapes survive as deprecated
+//! shims ([`GeoBlockEngine::select_tuple`] and friends).
 
 use crate::aggregate::AggResult;
+use crate::api::{GbError, QueryReply, QueryRequest, QueryResponse};
 use crate::block::GeoBlock;
 use crate::qc::{self, CacheMetrics, RebuildPolicy};
 use crate::query::QueryStats;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::trie::AggregateTrie;
+use crate::update::{UpdateBatch, UpdateReport};
 use gb_common::sync::{OrderedMutex, OrderedRwLock};
 use gb_common::FxHashMap;
-use gb_data::AggSpec;
+use gb_data::{AggSpec, DataError, Filter};
 use gb_geom::Polygon;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -50,8 +64,8 @@ pub const N_SHARDS: usize = 16;
 const RANK_REBUILD_GUARD: u8 = 0;
 /// Rank of each hit-statistic shard (at most one shard held at a time).
 const RANK_SHARD: u8 = 1;
-/// Rank of the trie pointer (always last, held only for the swap/clone).
-const RANK_TRIE: u8 = 2;
+/// Rank of the state pointer (always last, held only for the swap/clone).
+const RANK_STATE: u8 = 2;
 
 /// Pick the shard for a raw cell id (Fibonacci multiplicative hash — cell
 /// ids are structured bit patterns, so raw modulo would cluster).
@@ -60,20 +74,31 @@ fn shard_of(raw: u64) -> usize {
     (raw.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % N_SHARDS
 }
 
-/// A thread-safe GeoBlock query engine with the adaptive aggregate cache.
+/// One immutable epoch of the engine: the block, the cache built for it,
+/// and the data epoch they are valid for. Queries pin one `Arc` of this
+/// and see a consistent world regardless of concurrent swaps.
+#[derive(Debug)]
+struct EngineState {
+    block: Arc<GeoBlock>,
+    trie: Arc<AggregateTrie>,
+    data_epoch: u64,
+}
+
+/// A thread-safe GeoBlock query engine with the adaptive aggregate cache
+/// and in-place-committed batch updates.
 ///
 /// All methods take `&self`; the engine is designed to be shared as
 /// `Arc<GeoBlockEngine>` (or borrowed across `std::thread::scope`).
 pub struct GeoBlockEngine {
-    block: Arc<GeoBlock>,
-    trie: OrderedRwLock<Arc<AggregateTrie>>,
+    state: OrderedRwLock<Arc<EngineState>>,
     shards: Vec<OrderedMutex<FxHashMap<u64, u64>>>,
     threshold: f64,
     policy: RebuildPolicy,
-    /// Serializes rebuilds so concurrent triggers don't duplicate the
-    /// (expensive) trie construction. Never held while answering queries.
+    /// Serializes state transitions (cache rebuilds and update commits)
+    /// so concurrent triggers don't duplicate the expensive offline
+    /// construction. Never held while answering queries.
     rebuild_guard: OrderedMutex<()>,
-    epoch: AtomicU64,
+    cache_epoch: AtomicU64,
     /// Monotonic query counter for the `EveryN` policy: `fetch_add`
     /// returns each value exactly once, so exactly one thread observes
     /// each multiple of `n` and becomes that boundary's rebuilder — no
@@ -85,6 +110,13 @@ pub struct GeoBlockEngine {
 }
 
 impl GeoBlockEngine {
+    /// A fluent builder over every construction knob (threshold, rebuild
+    /// policy, block / snapshot source, build thread count) — the one
+    /// front door the former constructor sprawl now delegates to.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
     /// Wrap `block` with a cache budget of `threshold` (same meaning as
     /// [`crate::GeoBlockQC::new`]).
     pub fn new(block: GeoBlock, threshold: f64) -> Self {
@@ -96,11 +128,16 @@ impl GeoBlockEngine {
         assert!(threshold >= 0.0);
         let root_cell = qc::root_cell_of(&block);
         let n_cols = block.schema().len();
+        let trie = Arc::new(AggregateTrie::new(root_cell, n_cols));
         GeoBlockEngine {
-            trie: OrderedRwLock::new(
-                "trie",
-                RANK_TRIE,
-                Arc::new(AggregateTrie::new(root_cell, n_cols)),
+            state: OrderedRwLock::new(
+                "state",
+                RANK_STATE,
+                Arc::new(EngineState {
+                    block,
+                    trie,
+                    data_epoch: 0,
+                }),
             ),
             shards: (0..N_SHARDS)
                 .map(|_| OrderedMutex::new("shard", RANK_SHARD, FxHashMap::default()))
@@ -108,12 +145,11 @@ impl GeoBlockEngine {
             threshold,
             policy: RebuildPolicy::Manual,
             rebuild_guard: OrderedMutex::new("rebuild_guard", RANK_REBUILD_GUARD, ()),
-            epoch: AtomicU64::new(0),
+            cache_epoch: AtomicU64::new(0),
             query_counter: AtomicUsize::new(0),
             probes: AtomicU64::new(0),
             direct_hits: AtomicU64::new(0),
             child_hits: AtomicU64::new(0),
-            block,
         }
     }
 
@@ -125,24 +161,41 @@ impl GeoBlockEngine {
         self
     }
 
-    /// The shared block.
-    pub fn block(&self) -> &GeoBlock {
-        &self.block
+    /// Pin the current state (read lock held only for the `Arc` clone).
+    fn state_snapshot(&self) -> Arc<EngineState> {
+        self.state.read().clone()
+    }
+
+    /// Snapshot of the current block. Updates swap the block out from
+    /// under the engine, so callers get a pinned `Arc` of the epoch they
+    /// observed, not a borrow of a mutable slot.
+    pub fn block_snapshot(&self) -> Arc<GeoBlock> {
+        self.state_snapshot().block.clone()
     }
 
     /// Snapshot of the current cache (the trie of the current epoch).
     pub fn trie_snapshot(&self) -> Arc<AggregateTrie> {
-        self.trie.read().clone()
+        self.state_snapshot().trie.clone()
     }
 
     /// Cache budget in bytes (threshold × cell-aggregate bytes).
     pub fn budget_bytes(&self) -> usize {
-        (self.threshold * (self.block.num_cells() * self.block.record_bytes()) as f64) as usize
+        let block = self.block_snapshot();
+        (self.threshold * (block.num_cells() * block.record_bytes()) as f64) as usize
     }
 
-    /// How many times the cache has been rebuilt (epoch counter).
-    pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+    /// How many times the cache has been rebuilt. Performance adaptation
+    /// only: rebuilds never change answers (both tries cache exact
+    /// aggregates), so this does **not** advance the data epoch.
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache_epoch.load(Ordering::Acquire)
+    }
+
+    /// How many update batches have committed — the epoch reported in
+    /// every [`QueryResponse`] and the validity horizon for any cached
+    /// response (see `crate::api`).
+    pub fn data_epoch(&self) -> u64 {
+        self.state_snapshot().data_epoch
     }
 
     /// Accumulated cache metrics across all threads.
@@ -161,21 +214,52 @@ impl GeoBlockEngine {
         self.child_hits.store(0, Ordering::Relaxed);
     }
 
+    /// The canonical typed entry point: validate `req` against the
+    /// schema, execute it, and wrap the result with its stats and epoch.
+    /// The HTTP layer (`gb_serve`) is a thin shell around this method.
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryReply, GbError> {
+        match req {
+            QueryRequest::Select { polygon, spec } => {
+                self.validate_spec(spec)?;
+                Ok(QueryReply::Select(self.select(polygon, spec)))
+            }
+            QueryRequest::Count { polygon } => Ok(QueryReply::Count(self.count(polygon))),
+            QueryRequest::Update { batch } => Ok(QueryReply::Update(self.apply_updates(batch)?)),
+        }
+    }
+
+    /// Reject specs referencing columns outside the block schema before
+    /// they reach the (panicking, index-based) accumulator hot path.
+    fn validate_spec(&self, spec: &AggSpec) -> Result<(), GbError> {
+        let n_cols = self.block_snapshot().schema().len();
+        if let Some(max) = spec.max_column() {
+            if max >= n_cols {
+                return Err(GbError::Data(DataError::UnknownColumn {
+                    column: format!("#{max} (schema has {n_cols} columns)"),
+                }));
+            }
+        }
+        Ok(())
+    }
+
     /// COUNT passes straight through to the block (no cache, §3.6).
-    pub fn count(&self, polygon: &Polygon) -> (u64, QueryStats) {
-        self.block.count(polygon)
+    pub fn count(&self, polygon: &Polygon) -> QueryResponse<u64> {
+        let state = self.state_snapshot();
+        let (count, stats) = state.block.count(polygon);
+        QueryResponse::new(count, stats, state.data_epoch)
     }
 
     /// SELECT with the Figure-8 adapted algorithm, safe to call from any
-    /// number of threads concurrently (including during rebuilds).
-    pub fn select(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
-        // Pin this query to the current epoch's trie; the read lock is
-        // released before any work happens.
-        let trie = self.trie_snapshot();
+    /// number of threads concurrently (including during rebuilds and
+    /// update commits — the query runs entirely on its pinned epoch).
+    pub fn select(&self, polygon: &Polygon, spec: &AggSpec) -> QueryResponse<AggResult> {
+        // Pin this query to the current epoch's (block, trie) pair; the
+        // read lock is released before any work happens.
+        let state = self.state_snapshot();
         let mut metrics = CacheMetrics::default();
-        let out = qc::select_adapted(
-            &self.block,
-            &trie,
+        let (result, stats) = qc::select_adapted(
+            &state.block,
+            &state.trie,
             polygon,
             spec,
             &mut |raw| {
@@ -196,18 +280,73 @@ impl GeoBlockEngine {
                 self.rebuild_cache();
             }
         }
-        out
+        QueryResponse::new(result, stats, state.data_epoch)
+    }
+
+    /// Pre-redesign shape of [`GeoBlockEngine::select`].
+    #[deprecated(note = "use `select`, which returns a `QueryResponse` carrying the epoch")]
+    pub fn select_tuple(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+        self.select(polygon, spec).into_tuple()
+    }
+
+    /// Pre-redesign shape of [`GeoBlockEngine::count`].
+    #[deprecated(note = "use `count`, which returns a `QueryResponse` carrying the epoch")]
+    pub fn count_tuple(&self, polygon: &Polygon) -> (u64, QueryStats) {
+        self.count(polygon).into_tuple()
+    }
+
+    /// Commit a batch of new tuples (§5) and advance the data epoch.
+    ///
+    /// The next state is built entirely offline — clone the block, apply
+    /// the batch, refresh every cached trie ancestor with the §5
+    /// root-to-leaf walk — and swapped in with a single pointer write.
+    /// In-flight queries keep answering from their pinned epoch; queries
+    /// starting after the swap see the whole batch. The swap also makes
+    /// invalidation transactional for result caches keyed on the epoch:
+    /// the epoch bump and the new data become visible atomically.
+    pub fn apply_updates(
+        &self,
+        batch: &UpdateBatch,
+    ) -> Result<QueryResponse<UpdateReport>, GbError> {
+        let n_cols = self.block_snapshot().schema().len();
+        for (i, (_, values)) in batch.rows.iter().enumerate() {
+            if values.len() != n_cols {
+                return Err(GbError::bad_request(format!(
+                    "update row {i} has {} values, schema has {n_cols} columns",
+                    values.len()
+                )));
+            }
+        }
+        // Serialize with rebuilds and other updates; queries proceed.
+        let _serialize = self.rebuild_guard.lock();
+        let cur = self.state_snapshot();
+        let mut block = (*cur.block).clone();
+        let report = block.apply_updates(batch);
+        let mut trie = (*cur.trie).clone();
+        for (loc, values) in &batch.rows {
+            let leaf = block.grid().leaf_for_point(*loc);
+            trie.update_along_path(leaf, values);
+        }
+        let epoch = cur.data_epoch + 1;
+        *self.state.write() = Arc::new(EngineState {
+            block: Arc::new(block),
+            trie: Arc::new(trie),
+            data_epoch: epoch,
+        });
+        Ok(QueryResponse::new(report, QueryStats::default(), epoch))
     }
 
     /// Persist the block **and** the live cache state (current trie +
     /// merged hit statistics), so a restarted engine resumes exactly
     /// where this one is: same cached aggregates, same learned scores.
     pub fn write_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
-        let trie = self.trie_snapshot();
+        // One pinned state: block and trie are guaranteed consistent
+        // even while updates commit concurrently.
+        let state = self.state_snapshot();
         let hits = self.snapshot_hits();
         crate::snapshot::SnapshotRef {
-            block: &self.block,
-            trie: Some(&trie),
+            block: &state.block,
+            trie: Some(&state.trie),
             hits: Some(&hits),
         }
         .save(path)
@@ -230,7 +369,12 @@ impl GeoBlockEngine {
     pub fn from_snapshot_state(snap: Snapshot, threshold: f64) -> Self {
         let engine = GeoBlockEngine::from_arc(Arc::new(snap.block), threshold);
         if let Some(trie) = snap.trie {
-            *engine.trie.write() = Arc::new(trie);
+            let cur = engine.state_snapshot();
+            *engine.state.write() = Arc::new(EngineState {
+                block: cur.block.clone(),
+                trie: Arc::new(trie),
+                data_epoch: cur.data_epoch,
+            });
         }
         if let Some(hits) = snap.hits {
             for (k, v) in hits {
@@ -265,27 +409,158 @@ impl GeoBlockEngine {
     /// the construction, only (at worst) on the nanosecond-scale swap.
     pub fn rebuild_cache(&self) {
         // Lock order: rebuild_guard (0) is taken first and held across
-        // the shard (1) and trie (2) acquisitions below.
+        // the shard (1) and state (2) acquisitions below. Holding it also
+        // pins the data epoch: updates serialize on the same guard, so
+        // the state read below cannot go stale before the swap.
         let _serialize = self.rebuild_guard.lock();
         let hits = self.snapshot_hits();
-        let root_cell = self.trie.read().root_cell();
+        let cur = self.state_snapshot();
+        let budget =
+            (self.threshold * (cur.block.num_cells() * cur.block.record_bytes()) as f64) as usize;
         // Expensive part: no lock held.
-        let fresh = qc::rebuild_trie(&self.block, root_cell, self.budget_bytes(), &hits);
-        // Cheap part: swap the epoch pointer.
-        *self.trie.write() = Arc::new(fresh);
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let fresh = qc::rebuild_trie(&cur.block, cur.trie.root_cell(), budget, &hits);
+        // Cheap part: swap the state pointer (same block, same epoch).
+        *self.state.write() = Arc::new(EngineState {
+            block: cur.block.clone(),
+            trie: Arc::new(fresh),
+            data_epoch: cur.data_epoch,
+        });
+        self.cache_epoch.fetch_add(1, Ordering::AcqRel);
     }
 }
 
 impl std::fmt::Debug for GeoBlockEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state_snapshot();
         f.debug_struct("GeoBlockEngine")
-            .field("cells", &self.block.num_cells())
-            .field("pyramid", &self.block.has_pyramid())
+            .field("cells", &state.block.num_cells())
+            .field("pyramid", &state.block.has_pyramid())
             .field("threshold", &self.threshold)
-            .field("epoch", &self.epoch())
+            .field("data_epoch", &state.data_epoch)
+            .field("cache_epoch", &self.cache_epoch())
             .field("tracked_cells", &self.tracked_cells())
             .finish()
+    }
+}
+
+/// Where an [`EngineBuilder`] gets its block from.
+enum EngineSource {
+    None,
+    Block(Box<GeoBlock>),
+    SharedBlock(Arc<GeoBlock>),
+    SnapshotFile(PathBuf),
+    SnapshotState(Box<Snapshot>),
+}
+
+/// Fluent construction of a [`GeoBlockEngine`]: one source (block,
+/// snapshot, or base data via [`EngineBuilder::base`]) plus the knobs the
+/// old constructor zoo spread over `new` / `from_arc` / `with_policy` /
+/// `from_snapshot`.
+///
+/// ```no_run
+/// # use geoblocks::{GeoBlockEngine, RebuildPolicy};
+/// let engine = GeoBlockEngine::builder()
+///     .threshold(0.2)
+///     .policy(RebuildPolicy::EveryN(64))
+///     .snapshot("warm.gbsnap")
+///     .build()?;
+/// # Ok::<(), geoblocks::GbError>(())
+/// ```
+pub struct EngineBuilder {
+    source: EngineSource,
+    threshold: f64,
+    policy: RebuildPolicy,
+    threads: usize,
+}
+
+impl EngineBuilder {
+    fn new() -> EngineBuilder {
+        EngineBuilder {
+            source: EngineSource::None,
+            threshold: 0.1,
+            policy: RebuildPolicy::Manual,
+            threads: 1,
+        }
+    }
+
+    /// Cache budget as a fraction of cell-aggregate bytes (default 0.1).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Automatic rebuild policy (default [`RebuildPolicy::Manual`]).
+    pub fn policy(mut self, policy: RebuildPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Build threads for [`EngineBuilder::base`] sources (default 1 —
+    /// the serial sweep; parallel builds are bit-identical to it).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Source: wrap an existing block.
+    pub fn block(mut self, block: GeoBlock) -> Self {
+        self.source = EngineSource::Block(Box::new(block));
+        self
+    }
+
+    /// Source: wrap an already-shared block.
+    pub fn block_arc(mut self, block: Arc<GeoBlock>) -> Self {
+        self.source = EngineSource::SharedBlock(block);
+        self
+    }
+
+    /// Source: restore (pre-warmed) from a snapshot file.
+    pub fn snapshot(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = EngineSource::SnapshotFile(path.into());
+        self
+    }
+
+    /// Source: an already-loaded snapshot (the in-memory variant).
+    pub fn snapshot_state(mut self, snap: Snapshot) -> Self {
+        self.source = EngineSource::SnapshotState(Box::new(snap));
+        self
+    }
+
+    /// Source: build a fresh block from base data at `level` under
+    /// `filter`, using [`EngineBuilder::threads`] build threads.
+    pub fn base(self, base: &gb_data::BaseTable, level: u8, filter: &Filter) -> Self {
+        let (block, _) = crate::build::build_parallel(base, level, filter, self.threads);
+        self.block(block)
+    }
+
+    /// Construct the engine. Fails with a typed [`GbError`] on a missing
+    /// source, an invalid threshold, or a snapshot that will not load —
+    /// no panicking constructor preconditions.
+    pub fn build(self) -> Result<GeoBlockEngine, GbError> {
+        if self.threshold.is_nan() || self.threshold < 0.0 {
+            return Err(GbError::bad_request(format!(
+                "cache threshold must be >= 0, got {}",
+                self.threshold
+            )));
+        }
+        let engine =
+            match self.source {
+                EngineSource::None => return Err(GbError::bad_request(
+                    "engine builder needs a source: block(), block_arc(), snapshot(), or base()"
+                        .to_string(),
+                )),
+                EngineSource::Block(block) => {
+                    GeoBlockEngine::from_arc(Arc::new(*block), self.threshold)
+                }
+                EngineSource::SharedBlock(block) => GeoBlockEngine::from_arc(block, self.threshold),
+                EngineSource::SnapshotFile(path) => {
+                    GeoBlockEngine::from_snapshot_state(Snapshot::load(&path)?, self.threshold)
+                }
+                EngineSource::SnapshotState(snap) => {
+                    GeoBlockEngine::from_snapshot_state(*snap, self.threshold)
+                }
+            };
+        Ok(engine.with_policy(self.policy))
     }
 }
 
@@ -343,17 +618,19 @@ mod tests {
             .map(|i| diamond(20.0 + 10.0 * i as f64, 30.0 + 7.0 * i as f64, 8.0))
             .collect();
         for p in &polys {
-            let (a, _) = engine.select(p, &s);
+            let a = engine.select(p, &s);
             let (b, _) = block.select(p, &s);
-            assert!(a.approx_eq(&b, 1e-9), "cold: {a:?} vs {b:?}");
+            assert!(a.result.approx_eq(&b, 1e-9), "cold: {a:?} vs {b:?}");
+            assert_eq!(a.epoch, 0, "no updates yet");
         }
         engine.rebuild_cache();
-        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.cache_epoch(), 1);
+        assert_eq!(engine.data_epoch(), 0, "rebuilds keep the data epoch");
         assert!(engine.trie_snapshot().num_cached() > 0);
         for p in &polys {
-            let (a, _) = engine.select(p, &s);
+            let a = engine.select(p, &s);
             let (b, _) = block.select(p, &s);
-            assert!(a.approx_eq(&b, 1e-9), "warm: {a:?} vs {b:?}");
+            assert!(a.result.approx_eq(&b, 1e-9), "warm: {a:?} vs {b:?}");
         }
         assert!(engine.metrics().direct_hits > 0, "expected cache hits");
     }
@@ -400,15 +677,165 @@ mod tests {
         for _ in 0..9 {
             engine.select(&hot, &spec());
         }
-        assert!(engine.epoch() >= 2, "epoch {}", engine.epoch());
+        assert!(engine.cache_epoch() >= 2, "epoch {}", engine.cache_epoch());
         assert!(engine.trie_snapshot().num_cached() > 0);
+    }
+
+    #[test]
+    fn updates_advance_the_data_epoch_and_refresh_answers() {
+        let base = base_data(3000);
+        let (block, _) = build(&base, 7, &Filter::all());
+        let engine = GeoBlockEngine::new(block, 0.5);
+        let s = AggSpec::new(vec![
+            gb_data::AggRequest::new(gb_data::AggFunc::Count, 0),
+            gb_data::AggRequest::new(gb_data::AggFunc::Max, 0),
+        ]);
+        let hot = Polygon::rectangle(Rect::from_bounds(5.0, 5.0, 45.0, 45.0));
+        for _ in 0..4 {
+            engine.select(&hot, &s);
+        }
+        engine.rebuild_cache();
+        assert!(engine.trie_snapshot().num_cached() > 0);
+        let before = engine.select(&hot, &s);
+        assert_eq!(before.epoch, 0);
+
+        let mut batch = UpdateBatch::new();
+        batch.push(Point::new(20.0, 20.0), vec![9_999_999.0]);
+        let report = engine.apply_updates(&batch).expect("valid batch");
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.result.in_place + report.result.new_cells, 1);
+        assert_eq!(engine.data_epoch(), 1);
+
+        let after = engine.select(&hot, &s);
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.result.count, before.result.count + 1);
+        assert_eq!(
+            after.result.value(1),
+            Some(9_999_999.0),
+            "cached max must refresh through the swapped trie"
+        );
+        // And the engine agrees with a from-scratch QC given the same data.
+        let mut qc = GeoBlockQC::new((*engine.block_snapshot()).clone(), 0.5);
+        let fresh = qc.select(&hot, &s);
+        assert!(after.result.approx_eq(&fresh.result, 0.0), "bit-identical");
+    }
+
+    #[test]
+    fn query_entry_point_validates_and_dispatches() {
+        let base = base_data(2000);
+        let (block, _) = build(&base, 7, &Filter::all());
+        let engine = GeoBlockEngine::new(block, 0.3);
+        let hot = diamond(40.0, 40.0, 12.0);
+
+        // Select through query() == typed select.
+        let via_query = engine
+            .query(&QueryRequest::Select {
+                polygon: hot.clone(),
+                spec: spec(),
+            })
+            .expect("valid");
+        let direct = engine.select(&hot, &spec());
+        match via_query {
+            QueryReply::Select(r) => {
+                assert!(r.result.approx_eq(&direct.result, 0.0));
+                assert_eq!(r.epoch, direct.epoch);
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+
+        // Count through query().
+        let cnt = engine
+            .query(&QueryRequest::Count {
+                polygon: hot.clone(),
+            })
+            .expect("valid");
+        assert!(matches!(cnt, QueryReply::Count(_)));
+
+        // Out-of-schema column is a 400, not a panic.
+        let bad_spec = AggSpec::new(vec![gb_data::AggRequest::new(gb_data::AggFunc::Sum, 99)]);
+        let err = engine
+            .query(&QueryRequest::Select {
+                polygon: hot.clone(),
+                spec: bad_spec,
+            })
+            .unwrap_err();
+        assert_eq!(err.http_status(), 400);
+
+        // Arity-mismatched update row is a 400, not a panic.
+        let mut batch = UpdateBatch::new();
+        batch.push(Point::new(1.0, 1.0), vec![1.0, 2.0]);
+        let err = engine.query(&QueryRequest::Update { batch }).unwrap_err();
+        assert_eq!(err.http_status(), 400);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tuple_shims_match_typed_methods() {
+        let base = base_data(1500);
+        let (block, _) = build(&base, 7, &Filter::all());
+        let engine = GeoBlockEngine::new(block, 0.2);
+        let hot = diamond(40.0, 40.0, 12.0);
+        let (sel, stats) = engine.select_tuple(&hot, &spec());
+        let typed = engine.select(&hot, &spec());
+        assert!(sel.approx_eq(&typed.result, 0.0));
+        assert_eq!(stats, typed.stats);
+        let (cnt, _) = engine.count_tuple(&hot);
+        assert_eq!(cnt, engine.count(&hot).result);
+    }
+
+    #[test]
+    fn builder_consolidates_the_constructors() {
+        let base = base_data(2000);
+        let (block, _) = build(&base, 7, &Filter::all());
+
+        // From a block, with policy + threshold.
+        let engine = GeoBlockEngine::builder()
+            .threshold(0.3)
+            .policy(RebuildPolicy::EveryN(4))
+            .block(block.clone())
+            .build()
+            .expect("block source");
+        let hot = diamond(40.0, 40.0, 10.0);
+        for _ in 0..9 {
+            engine.select(&hot, &spec());
+        }
+        assert!(engine.cache_epoch() >= 2, "policy wired through");
+
+        // From base data with a thread count: bit-identical to serial.
+        let from_base = GeoBlockEngine::builder()
+            .threads(3)
+            .base(&base, 7, &Filter::all())
+            .build()
+            .expect("base source");
+        assert_eq!(
+            from_base.block_snapshot().content_hash(),
+            block.content_hash()
+        );
+
+        // Misconfiguration is a typed error, not a panic.
+        assert!(GeoBlockEngine::builder().build().is_err(), "no source");
+        assert!(
+            GeoBlockEngine::builder()
+                .block(block.clone())
+                .threshold(f64::NAN)
+                .build()
+                .is_err(),
+            "NaN threshold"
+        );
+        assert!(
+            GeoBlockEngine::builder()
+                .snapshot("/nonexistent/engine.gbsnap")
+                .build()
+                .is_err(),
+            "missing snapshot file"
+        );
     }
 
     #[test]
     fn engine_survives_poisoned_locks() {
         // One panicking query thread must not wedge every subsequent
         // reader: poison every shard mutex, the rebuild guard, and the
-        // trie RwLock, then verify the engine still answers correctly
+        // state RwLock, then verify the engine still answers correctly
         // and can still rebuild its cache.
         let base = base_data(3000);
         let (block, _) = build(&base, 8, &Filter::all());
@@ -434,22 +861,26 @@ mod tests {
         {
             let e = Arc::clone(&engine);
             let _ = gb_common::spawn_join(move || {
-                let _guard = e.trie.write();
-                panic!("deliberate trie poison");
+                let _guard = e.state.write();
+                panic!("deliberate state poison");
             });
         }
         assert!(engine.shards.iter().all(|s| s.is_poisoned()));
 
-        // Queries, statistics, and rebuilds all keep working.
-        let (a, _) = engine.select(&hot, &s);
+        // Queries, statistics, rebuilds, and updates all keep working.
+        let a = engine.select(&hot, &s);
         let (b, _) = block.select(&hot, &s);
-        assert!(a.approx_eq(&b, 1e-9), "post-poison: {a:?} vs {b:?}");
+        assert!(a.result.approx_eq(&b, 1e-9), "post-poison: {a:?} vs {b:?}");
         assert!(engine.tracked_cells() > 0);
         engine.rebuild_cache();
-        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.cache_epoch(), 1);
         assert!(engine.trie_snapshot().num_cached() > 0);
-        let (c, _) = engine.select(&hot, &s);
-        assert!(c.approx_eq(&b, 1e-9), "post-poison warm: {c:?} vs {b:?}");
+        let c = engine.select(&hot, &s);
+        assert!(c.result.approx_eq(&b, 1e-9), "post-poison warm: {c:?}");
+        let mut batch = UpdateBatch::new();
+        batch.push(Point::new(40.0, 40.0), vec![1.0]);
+        assert!(engine.apply_updates(&batch).is_ok());
+        assert_eq!(engine.data_epoch(), 1);
     }
 
     #[test]
@@ -471,8 +902,13 @@ mod tests {
         engine.rebuild_cache();
         engine.write_snapshot(&path).expect("save");
 
-        let warm = GeoBlockEngine::from_snapshot(&path, 0.3).expect("load");
-        assert_eq!(warm.block().content_hash(), block.content_hash());
+        // The builder restores pre-warmed engines too.
+        let warm = GeoBlockEngine::builder()
+            .threshold(0.3)
+            .snapshot(&path)
+            .build()
+            .expect("load");
+        assert_eq!(warm.block_snapshot().content_hash(), block.content_hash());
         // The restored trie is bit-identical to the saved one.
         assert_eq!(
             warm.trie_snapshot().content_hash(),
@@ -482,9 +918,9 @@ mod tests {
         // without any rebuild on the restored engine.
         warm.reset_metrics();
         for p in &polys {
-            let (a, _) = warm.select(p, &s);
-            let (b, _) = engine.select(p, &s);
-            assert!(a.approx_eq(&b, 1e-9), "warm-start: {a:?} vs {b:?}");
+            let a = warm.select(p, &s);
+            let b = engine.select(p, &s);
+            assert!(a.result.approx_eq(&b.result, 1e-9), "warm-start: {a:?}");
         }
         assert!(
             warm.metrics().direct_hits > 0,

@@ -25,16 +25,20 @@
 //! let (result, _) = block.select(&polys[0], &spec);
 //! assert!(result.count <= 10_000);
 //!
-//! // Query-cache accelerated variant (BlockQC).
+//! // Query-cache accelerated variant (BlockQC). Typed responses carry
+//! // the result, the per-query stats, and the data epoch they're valid
+//! // for (see the [`api`] module).
 //! let mut qc = GeoBlockQC::new(block, 0.05);
-//! let (cached_result, _) = qc.select(&polys[0], &spec);
-//! assert_eq!(cached_result.count, result.count);
+//! let cached = qc.select(&polys[0], &spec);
+//! assert_eq!(cached.result.count, result.count);
+//! assert_eq!(cached.epoch, 0);
 //! ```
 //!
 //! Module map (one per paper concern):
 //!
 //! | Module | Paper section |
 //! |---|---|
+//! | [`api`] — typed query requests/replies, unified errors, wire codec | — |
 //! | [`block`] — storage layout, header, coarsening | §3.4 |
 //! | [`pyramid`] — multi-resolution aggregate pyramid + prefix folds | §3.4 "granularity", §3.5 |
 //! | [`build`](mod@build) — single- or multi-threaded builds from sorted base data | §3.3 |
@@ -48,6 +52,7 @@
 //! | [`aggregate`] — accumulator shared with the baselines | §2, §3.4 |
 
 pub mod aggregate;
+pub mod api;
 pub mod block;
 pub mod build;
 pub mod engine;
@@ -60,6 +65,7 @@ pub mod trie;
 pub mod update;
 
 pub use aggregate::{AggPlan, AggResult};
+pub use api::{GbError, QueryReply, QueryRequest, QueryResponse, ServeError};
 pub use block::GeoBlock;
 pub use build::{build, build_parallel, build_with_rows, BuildStats};
 pub use engine::GeoBlockEngine;

@@ -12,12 +12,13 @@
 //! speedups for them").
 
 use crate::aggregate::{AggPlan, AggResult};
+use crate::api::{GbError, QueryReply, QueryRequest, QueryResponse};
 use crate::block::GeoBlock;
 use crate::query::{Cursors, QueryStats};
 use crate::trie::AggregateTrie;
 use gb_cell::CellId;
 use gb_common::FxHashMap;
-use gb_data::AggSpec;
+use gb_data::{AggSpec, DataError};
 use gb_geom::Polygon;
 
 /// When the cache is (re)built from the hit statistics.
@@ -257,6 +258,10 @@ pub struct GeoBlockQC {
     hits: FxHashMap<u64, u64>,
     queries_since_rebuild: usize,
     metrics: CacheMetrics,
+    /// Data epoch: how many update batches have committed — the epoch
+    /// reported in every [`QueryResponse`] (mirrors
+    /// [`crate::GeoBlockEngine::data_epoch`]).
+    epoch: u64,
 }
 
 impl GeoBlockQC {
@@ -274,6 +279,7 @@ impl GeoBlockQC {
             hits: FxHashMap::default(),
             queries_since_rebuild: 0,
             metrics: CacheMetrics::default(),
+            epoch: 0,
         }
     }
 
@@ -320,13 +326,62 @@ impl GeoBlockQC {
         self.metrics = CacheMetrics::default();
     }
 
+    /// How many update batches have committed (the epoch reported in
+    /// every [`QueryResponse`]).
+    pub fn data_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the data epoch (called by `apply_updates` after a batch
+    /// commits — see `crate::update`).
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The canonical typed entry point: validate `req` against the block
+    /// schema, execute it, and wrap the result with its stats and epoch.
+    pub fn query(&mut self, req: &QueryRequest) -> Result<QueryReply, GbError> {
+        match req {
+            QueryRequest::Select { polygon, spec } => {
+                let n_cols = self.block.schema().len();
+                if let Some(max) = spec.max_column() {
+                    if max >= n_cols {
+                        return Err(GbError::Data(DataError::UnknownColumn {
+                            column: format!("#{max} (schema has {n_cols} columns)"),
+                        }));
+                    }
+                }
+                Ok(QueryReply::Select(self.select(polygon, spec)))
+            }
+            QueryRequest::Count { polygon } => Ok(QueryReply::Count(self.count(polygon))),
+            QueryRequest::Update { batch } => {
+                let n_cols = self.block.schema().len();
+                for (i, (_, values)) in batch.rows.iter().enumerate() {
+                    if values.len() != n_cols {
+                        return Err(GbError::bad_request(format!(
+                            "update row {i} has {} values, schema has {n_cols} columns",
+                            values.len()
+                        )));
+                    }
+                }
+                let report = self.apply_updates(batch);
+                Ok(QueryReply::Update(QueryResponse::new(
+                    report,
+                    QueryStats::default(),
+                    self.epoch,
+                )))
+            }
+        }
+    }
+
     /// COUNT passes straight through to the block (no cache, §3.6).
-    pub fn count(&self, polygon: &Polygon) -> (u64, QueryStats) {
-        self.block.count(polygon)
+    pub fn count(&self, polygon: &Polygon) -> QueryResponse<u64> {
+        let (count, stats) = self.block.count(polygon);
+        QueryResponse::new(count, stats, self.epoch)
     }
 
     /// SELECT with the Figure-8 adapted algorithm.
-    pub fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+    pub fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> QueryResponse<AggResult> {
         let GeoBlockQC {
             block,
             trie,
@@ -334,7 +389,7 @@ impl GeoBlockQC {
             metrics,
             ..
         } = self;
-        let out = select_adapted(
+        let (result, stats) = select_adapted(
             block,
             trie,
             polygon,
@@ -349,7 +404,19 @@ impl GeoBlockQC {
                 self.rebuild_cache();
             }
         }
-        out
+        QueryResponse::new(result, stats, self.epoch)
+    }
+
+    /// Pre-redesign shape of [`GeoBlockQC::select`].
+    #[deprecated(note = "use `select`, which returns a `QueryResponse` carrying the epoch")]
+    pub fn select_tuple(&mut self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
+        self.select(polygon, spec).into_tuple()
+    }
+
+    /// Pre-redesign shape of [`GeoBlockQC::count`].
+    #[deprecated(note = "use `count`, which returns a `QueryResponse` carrying the epoch")]
+    pub fn count_tuple(&self, polygon: &Polygon) -> (u64, QueryStats) {
+        self.count(polygon).into_tuple()
     }
 
     /// Persist the block and the current cache state (trie + hit
@@ -445,7 +512,7 @@ mod tests {
         let mut qc = GeoBlockQC::new(block.clone(), 0.2);
         // Cold cache: identical results.
         for p in &polys {
-            let (a, _) = qc.select(p, &s);
+            let a = qc.select(p, &s).result;
             let (b, _) = block.select(p, &s);
             assert!(a.approx_eq(&b, 1e-9), "cold: {a:?} vs {b:?}");
         }
@@ -453,7 +520,7 @@ mod tests {
         assert!(qc.trie().num_cached() > 0, "cache should hold aggregates");
         // Warm cache: still identical results.
         for p in &polys {
-            let (a, _) = qc.select(p, &s);
+            let a = qc.select(p, &s).result;
             let (b, _) = block.select(p, &s);
             assert!(a.approx_eq(&b, 1e-9), "warm: {a:?} vs {b:?}");
         }
@@ -534,9 +601,10 @@ mod tests {
             qc.select(&hot, &spec());
         }
         qc.rebuild_cache();
-        let (a, _) = qc.count(&hot);
+        let a = qc.count(&hot);
         let (b, _) = block.count(&hot);
-        assert_eq!(a, b);
+        assert_eq!(a.result, b);
+        assert_eq!(a.epoch, 0, "no updates yet");
     }
 
     #[test]

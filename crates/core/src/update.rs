@@ -229,6 +229,7 @@ impl GeoBlockQC {
         for (leaf, values) in leaves {
             self.trie_mut().update_along_path(leaf, &values);
         }
+        self.bump_epoch();
         report
     }
 }
@@ -406,15 +407,22 @@ mod tests {
         }
         qc.rebuild_cache();
         assert!(qc.trie().num_cached() > 0);
-        let (before, _) = qc.select(&hot, &spec);
+        let before = qc.select(&hot, &spec);
+        assert_eq!(before.epoch, 0);
 
         let mut batch = UpdateBatch::new();
         batch.push(Point::new(20.0, 20.0), vec![9_999_999.0]);
         qc.apply_updates(&batch);
+        assert_eq!(qc.data_epoch(), 1, "updates advance the data epoch");
 
-        let (after, _) = qc.select(&hot, &spec);
-        assert_eq!(after.count, before.count + 1);
-        assert_eq!(after.value(1), Some(9_999_999.0), "cached max must refresh");
+        let after = qc.select(&hot, &spec);
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.result.count, before.result.count + 1);
+        assert_eq!(
+            after.result.value(1),
+            Some(9_999_999.0),
+            "cached max must refresh"
+        );
     }
 
     #[test]

@@ -151,8 +151,8 @@ fn concurrent_queries_during_rebuilds_stay_exact() {
                         .wrapping_add(1442695040888963407);
                     let i = (rng >> 33) as usize % polys.len();
                     let (want_sel, want_cnt) = &truth[i];
-                    let (got_sel, _) = engine.select(&polys[i], spec);
-                    let (got_cnt, _) = engine.count(&polys[i]);
+                    let got_sel = engine.select(&polys[i], spec).result;
+                    let got_cnt = engine.count(&polys[i]).result;
                     if !got_sel.approx_eq(want_sel, 0.0) || got_cnt != *want_cnt {
                         mismatches.fetch_add(1, Ordering::Relaxed);
                     }
@@ -181,17 +181,17 @@ fn concurrent_queries_during_rebuilds_stay_exact() {
         N_THREADS * QUERIES_PER_THREAD
     );
     assert!(
-        engine.epoch() >= 8,
+        engine.cache_epoch() >= 8,
         "rebuild churn too low: {}",
-        engine.epoch()
+        engine.cache_epoch()
     );
     // The hot polygon repeated often enough that post-hoc caching works:
     // one more rebuild then a final exactness pass through a warm cache.
     engine.rebuild_cache();
     for (p, (want_sel, want_cnt)) in polys.iter().zip(&truth) {
-        let (got, _) = engine.select(p, &spec);
+        let got = engine.select(p, &spec).result;
         assert!(got.approx_eq(want_sel, 0.0), "warm mismatch: {got:?}");
-        assert_eq!(engine.count(p).0, *want_cnt);
+        assert_eq!(engine.count(p).result, *want_cnt);
     }
     assert!(engine.metrics().probes > 0);
 }
@@ -216,7 +216,7 @@ fn engine_shared_via_arc_across_spawned_threads() {
             // gb-lint: allow(rogue-spawn) -- the point of this test is N detached-then-joined owners of the Arc, not pool fan-out
             std::thread::spawn(move || {
                 for _ in 0..20 {
-                    let (got, _) = engine.select(&poly, &spec);
+                    let got = engine.select(&poly, &spec).result;
                     assert!(got.approx_eq(&want, 0.0));
                 }
             })

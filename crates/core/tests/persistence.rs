@@ -122,7 +122,10 @@ fn loaded_engine_matches_freshly_built_engine() {
     }
     fresh.rebuild_cache();
 
-    assert_eq!(restarted.block().content_hash(), block.content_hash());
+    assert_eq!(
+        restarted.block_snapshot().content_hash(),
+        block.content_hash()
+    );
     assert_eq!(
         restarted.trie_snapshot().content_hash(),
         fresh.trie_snapshot().content_hash(),
@@ -130,8 +133,8 @@ fn loaded_engine_matches_freshly_built_engine() {
     );
     restarted.reset_metrics();
     for p in &workload {
-        let (a, _) = restarted.select(p, &s);
-        let (b, _) = fresh.select(p, &s);
+        let a = restarted.select(p, &s).result;
+        let b = fresh.select(p, &s).result;
         let (c, _) = block.select(p, &s);
         assert!(
             a.approx_eq(&b, 0.0),
@@ -141,7 +144,7 @@ fn loaded_engine_matches_freshly_built_engine() {
             a.approx_eq(&c, 1e-9),
             "loaded engine vs block: {a:?} vs {c:?}"
         );
-        assert_eq!(restarted.count(p).0, block.count(p).0);
+        assert_eq!(restarted.count(p).result, block.count(p).0);
     }
     assert!(
         restarted.metrics().direct_hits > 0,
@@ -175,8 +178,8 @@ fn qc_snapshot_roundtrip_preserves_cache() {
     assert_eq!(back.trie().content_hash(), qc.trie().content_hash());
     back.reset_metrics();
     for p in &polys() {
-        let (a, _) = back.select(p, &s);
-        let (b, _) = qc.select(p, &s);
+        let a = back.select(p, &s).result;
+        let b = qc.select(p, &s).result;
         assert!(a.approx_eq(&b, 0.0), "{a:?} vs {b:?}");
     }
     assert!(back.metrics().direct_hits > 0);

@@ -104,11 +104,11 @@ proptest! {
 
         let mut qc = GeoBlockQC::new(block, threshold);
         for _ in 0..repeats {
-            let (got, _) = qc.select(&poly, &s);
+            let got = qc.select(&poly, &s).result;
             prop_assert!(got.approx_eq(&want, 1e-9));
             qc.rebuild_cache();
         }
-        let (after, _) = qc.select(&poly, &s);
+        let after = qc.select(&poly, &s).result;
         prop_assert!(after.approx_eq(&want, 1e-9));
         prop_assert!(qc.trie().size_bytes() <= qc.budget_bytes().max(8));
     }

@@ -242,13 +242,13 @@ fn qc_layers_agree_with_pyramid_block_exactly() {
         .collect();
     let mut qc = geoblocks::GeoBlockQC::new(block.clone(), 0.3);
     for p in &polys {
-        let (a, _) = qc.select(p, &s);
+        let a = qc.select(p, &s).result;
         let (b, _) = block.select(p, &s);
         assert!(a.approx_eq(&b, 0.0), "cold QC: {a:?} vs {b:?}");
     }
     qc.rebuild_cache();
     for p in &polys {
-        let (a, _) = qc.select(p, &s);
+        let a = qc.select(p, &s).result;
         let (b, _) = block.select(p, &s);
         assert!(a.approx_eq(&b, 0.0), "warm QC: {a:?} vs {b:?}");
     }

@@ -37,6 +37,8 @@ impl Config {
         Config {
             panic_free: s(&[
                 "crates/store/src/",
+                "crates/serve/src/",
+                "crates/core/src/api.rs",
                 "crates/core/src/snapshot.rs",
                 "crates/core/src/engine.rs",
                 "crates/core/src/trie.rs",
@@ -45,13 +47,14 @@ impl Config {
             spawn_blessed: s(&["crates/common/src/pool.rs"]),
             cast_checked: s(&["crates/store/src/lib.rs", "crates/core/src/snapshot.rs"]),
             // The GeoBlockEngine order: rebuild-guard, then hit-statistic
-            // shards, then the trie pointer. `shard` is the conventional
-            // loop-variable name for one element of `shards`.
+            // shards, then the state pointer (block + trie + data epoch).
+            // `shard` is the conventional loop-variable name for one
+            // element of `shards`.
             lock_ranks: vec![
                 ("rebuild_guard".to_string(), 0),
                 ("shards".to_string(), 1),
                 ("shard".to_string(), 1),
-                ("trie".to_string(), 2),
+                ("state".to_string(), 2),
             ],
         }
     }
@@ -109,8 +112,9 @@ mod tests {
     fn lock_ranks_are_ordered() {
         let cfg = Config::workspace();
         assert!(cfg.lock_rank("rebuild_guard") < cfg.lock_rank("shards"));
-        assert!(cfg.lock_rank("shards") < cfg.lock_rank("trie"));
+        assert!(cfg.lock_rank("shards") < cfg.lock_rank("state"));
         assert_eq!(cfg.lock_rank("shard"), cfg.lock_rank("shards"));
+        assert_eq!(cfg.lock_rank("trie"), None);
         assert_eq!(cfg.lock_rank("queue"), None);
     }
 }

@@ -523,14 +523,14 @@ mod tests {
     #[test]
     fn lock_order_flags_inversion() {
         let src = "fn bad(&self) {\n\
-                     let t = self.trie.write();\n\
+                     let t = self.state.write();\n\
                      let s = self.shards[i].lock();\n\
                    }";
         let f = rules_on("crates/core/src/engine.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "lock-order");
         assert!(f[0].message.contains("`shards`"));
-        assert!(f[0].message.contains("`trie`"));
+        assert!(f[0].message.contains("`state`"));
     }
 
     #[test]
@@ -538,7 +538,7 @@ mod tests {
         let src = "fn good(&self) {\n\
                      let g = self.rebuild_guard.lock();\n\
                      let s = self.shards[i].lock();\n\
-                     let t = self.trie.read();\n\
+                     let t = self.state.read();\n\
                    }";
         assert!(rules_on("crates/core/src/engine.rs", src).is_empty());
     }

@@ -69,7 +69,7 @@ fn seed_all(ws: &MiniWorkspace) {
         concat!(
             "impl Engine {\n",
             "    fn backwards(&self) {\n",
-            "        let t = self.trie.write();\n",
+            "        let t = self.state.write();\n",
             "        let g = self.rebuild_guard.lock();\n",
             "        drop((t, g));\n",
             "    }\n",

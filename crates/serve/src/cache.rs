@@ -1,0 +1,234 @@
+//! Per-query-shape result cache with epoch validation and TTL.
+//!
+//! The key is computed by `geoblocks::api::request_cache_key`: a 64-bit
+//! FNV-1a hash of the *encoded request* (polygon vertices by bit
+//! pattern plus the aggregate spec) mixed with the server's filter key
+//! — two requests share an entry iff they are wire-identical under the
+//! same filter, and update requests are never cached (the key function
+//! returns `None`).
+//!
+//! Invalidation is **transactional by construction** rather than by
+//! hook: every entry records the engine *data epoch* its reply was
+//! computed at, and a lookup only returns entries whose epoch equals the
+//! engine's current one. `GeoBlockEngine::apply_updates` publishes the
+//! new block and the bumped epoch in a single atomic state swap, so the
+//! instant an update commits, every cached reply is unservable — there
+//! is no window where a stale answer and the new epoch coexist. The TTL
+//! is a second, time-based bound so an idle server eventually drops
+//! entries even with no updates; capacity is bounded by random-ish
+//! eviction (oldest insertion) to keep the implementation std-only.
+
+use gb_common::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One cached reply: the encoded wire bytes, the data epoch they answer
+/// for, and when they were inserted (for the TTL bound).
+#[derive(Debug, Clone)]
+struct Entry {
+    reply: Vec<u8>,
+    epoch: u64,
+    inserted: Instant,
+}
+
+/// Hit/miss counters, readable without the map lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The server-side result cache. All methods take `&self`; the map is
+/// behind one plain mutex (lookups copy small reply buffers out, so the
+/// critical section is tiny), the counters are atomics.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: Mutex<FxHashMap<u64, Entry>>,
+    capacity: usize,
+    ttl: Duration,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` replies, each valid for `ttl`
+    /// (and only while the engine stays on the entry's data epoch).
+    pub fn new(capacity: usize, ttl: Duration) -> ResultCache {
+        ResultCache {
+            entries: Mutex::new(FxHashMap::default()),
+            capacity,
+            ttl,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up the reply for `key`, valid at `current_epoch`. Counts a
+    /// hit or miss; expired/stale entries are removed on the way.
+    pub fn get(&self, key: u64, current_epoch: u64) -> Option<Vec<u8>> {
+        let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let valid = match map.get(&key) {
+            Some(e) => e.epoch == current_epoch && e.inserted.elapsed() <= self.ttl,
+            None => false,
+        };
+        if valid {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            map.get(&key).map(|e| e.reply.clone())
+        } else {
+            // Drop the dead entry (wrong epoch or expired) eagerly.
+            map.remove(&key);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Insert a reply computed at `epoch`. A zero-capacity cache accepts
+    /// nothing; at capacity, the oldest entry is evicted.
+    pub fn insert(&self, key: u64, reply: Vec<u8>, epoch: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            if let Some(oldest) = map.iter().min_by_key(|(_, e)| e.inserted).map(|(&k, _)| k) {
+                map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                reply,
+                epoch,
+                inserted: Instant::now(),
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every entry whose epoch differs from `current_epoch` — the
+    /// space-reclamation half of invalidation (correctness never depends
+    /// on it; [`ResultCache::get`] checks the epoch on every lookup).
+    pub fn purge_stale(&self, current_epoch: u64) {
+        let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let before = map.len();
+        map.retain(|_, e| e.epoch == current_epoch && e.inserted.elapsed() <= self.ttl);
+        let dropped = before.saturating_sub(map.len());
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: usize, ttl_ms: u64) -> ResultCache {
+        ResultCache::new(cap, Duration::from_millis(ttl_ms))
+    }
+
+    #[test]
+    fn hit_after_insert_at_same_epoch() {
+        let c = cache(8, 10_000);
+        assert_eq!(c.get(1, 0), None);
+        c.insert(1, vec![42], 0);
+        assert_eq!(c.get(1, 0), Some(vec![42]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn epoch_change_invalidates_instantly() {
+        let c = cache(8, 10_000);
+        c.insert(7, vec![1, 2, 3], 0);
+        assert_eq!(c.get(7, 1), None, "new epoch must not see the old reply");
+        // And the dead entry was dropped.
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let c = cache(8, 0); // everything expires immediately
+        c.insert(9, vec![5], 3);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.get(9, 3), None);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let c = cache(2, 10_000);
+        c.insert(1, vec![1], 0);
+        std::thread::sleep(Duration::from_millis(2));
+        c.insert(2, vec![2], 0);
+        std::thread::sleep(Duration::from_millis(2));
+        c.insert(3, vec![3], 0); // evicts key 1
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1, 0), None);
+        assert_eq!(c.get(2, 0), Some(vec![2]));
+        assert_eq!(c.get(3, 0), Some(vec![3]));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let c = cache(0, 10_000);
+        c.insert(1, vec![1], 0);
+        assert_eq!(c.get(1, 0), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn purge_stale_reclaims_old_epochs() {
+        let c = cache(16, 10_000);
+        for k in 0..5 {
+            c.insert(k, vec![k as u8], 0);
+        }
+        for k in 5..8 {
+            c.insert(k, vec![k as u8], 1);
+        }
+        c.purge_stale(1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(6, 1), Some(vec![6]));
+    }
+}

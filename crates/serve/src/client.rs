@@ -1,0 +1,124 @@
+//! A std-only, one-shot HTTP client for the GeoBlocks endpoints: one
+//! TCP connection per request (`Connection: close`), blocking I/O. Used
+//! by the load generator, the CI smoke, and the e2e tests — it is not a
+//! general HTTP client.
+
+use crate::http::HttpError;
+use geoblocks::api::{self, QueryReply, QueryRequest};
+use geoblocks::GbError;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code + body bytes.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+/// Issue one request and read the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<ClientResponse, HttpError> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| HttpError::Io(format!("connect {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+
+    let mut raw = Vec::with_capacity(1024);
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    parse_response(&raw)
+}
+
+/// `GET path` with no body or extra headers.
+pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, HttpError> {
+    request(addr, "GET", path, &[], &[])
+}
+
+/// POST a typed [`QueryRequest`] to `path` and decode the typed reply.
+/// Transport failures surface as `GbError::Serve`; server-side errors
+/// come back as the decoded `GbError` (e.g. `Remote { status: 429, .. }`).
+pub fn post_query(
+    addr: SocketAddr,
+    path: &str,
+    tenant: Option<&str>,
+    req: &QueryRequest,
+) -> Result<QueryReply, GbError> {
+    let body = api::encode_request(req);
+    let headers: Vec<(&str, &str)> = match tenant {
+        Some(t) => vec![("x-gb-tenant", t)],
+        None => Vec::new(),
+    };
+    let resp = request(addr, "POST", path, &headers, &body)
+        .map_err(|e| GbError::Serve(geoblocks::ServeError::Internal(e.to_string())))?;
+    api::decode_reply(&resp.body)
+}
+
+/// Split a raw HTTP/1.1 response into status + body.
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, HttpError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| HttpError::Malformed("response head never completed".to_string()))?;
+    let head = std::str::from_utf8(raw.get(..head_end).unwrap_or_default())
+        .map_err(|_| HttpError::Malformed("response head is not UTF-8".to_string()))?;
+    let status_line = head
+        .split("\r\n")
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty response head".to_string()))?;
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line: {status_line}")))?;
+    Ok(ClientResponse {
+        status,
+        body: raw.get(head_end + 4..).unwrap_or_default().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let resp =
+            parse_response(b"HTTP/1.1 429 Too Many Requests\r\nretry-after: 1\r\n\r\nslow down")
+                .expect("parse");
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, b"slow down");
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(parse_response(b"").is_err());
+        assert!(parse_response(b"HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_response(b"\xff\xfe\r\n\r\nx").is_err());
+        assert!(parse_response(b"no head end here").is_err());
+    }
+}

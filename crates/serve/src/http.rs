@@ -1,0 +1,341 @@
+//! A minimal, panic-free HTTP/1.1 subset: exactly what the GeoBlocks
+//! endpoints need — request line, headers, `Content-Length` bodies — with
+//! hard size limits so a malformed or hostile peer cannot balloon memory.
+//! No chunked encoding, no keep-alive (every response closes the
+//! connection), no TLS: the server is an in-cluster serving shim, not an
+//! edge proxy.
+//!
+//! This module is on the `gb_lint` `panic-path` list: parse failures are
+//! values ([`HttpError`]), never panics.
+
+use std::io::{Read, Write};
+
+/// Cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a request body. Update batches are the largest legitimate
+/// payload; 16 MiB is ~500k rows of a 3-column schema.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Socket error (peer vanished, timeout, ...).
+    Io(String),
+    /// Malformed request line / headers / framing.
+    Malformed(String),
+    /// Head or body over the configured cap.
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(m) => write!(f, "i/o error: {m}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Build a request by hand (tests and the in-process client).
+    pub fn new(method: &str, path: &str) -> HttpRequest {
+        HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Attach a header (chainable).
+    pub fn with_header(mut self, name: &str, value: &str) -> HttpRequest {
+        self.headers
+            .push((name.to_ascii_lowercase(), value.trim().to_string()));
+        self
+    }
+
+    /// Attach a body (chainable).
+    pub fn with_body(mut self, body: Vec<u8>) -> HttpRequest {
+        self.body = body;
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Read one request from a stream (blocking until the head + declared
+    /// body arrived, the peer closed, or a cap tripped).
+    pub fn read_from(stream: &mut dyn Read) -> Result<HttpRequest, HttpError> {
+        // Accumulate until the blank line ending the head.
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                if pos > MAX_HEAD_BYTES {
+                    return Err(HttpError::TooLarge(format!(
+                        "request head exceeds {MAX_HEAD_BYTES} bytes"
+                    )));
+                }
+                break pos;
+            }
+            if buf.len() > MAX_HEAD_BYTES + 4 {
+                return Err(HttpError::TooLarge(format!(
+                    "request head exceeds {MAX_HEAD_BYTES} bytes"
+                )));
+            }
+            let n = stream
+                .read(&mut chunk)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(HttpError::Malformed(
+                    "connection closed before the request head completed".to_string(),
+                ));
+            }
+            buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        };
+
+        let head = std::str::from_utf8(buf.get(..head_end).unwrap_or_default())
+            .map_err(|_| HttpError::Malformed("request head is not UTF-8".to_string()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request head".to_string()))?;
+        let mut parts = request_line.split_ascii_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request path".to_string()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol version {version}"
+            )));
+        }
+
+        let mut req = HttpRequest::new(method, path);
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::Malformed(format!(
+                    "header without colon: {line}"
+                )));
+            };
+            req = req.with_header(name.trim(), value);
+        }
+
+        // Body: exactly Content-Length bytes (0 when absent).
+        let declared = match req.header("content-length") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length: {v}")))?,
+            None => 0,
+        };
+        if declared > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "declared body of {declared} bytes exceeds {MAX_BODY_BYTES}"
+            )));
+        }
+        let mut body: Vec<u8> = buf.get(head_end + 4..).unwrap_or_default().to_vec();
+        while body.len() < declared {
+            let n = stream
+                .read(&mut chunk)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(HttpError::Malformed(format!(
+                    "connection closed with {} of {declared} body bytes read",
+                    body.len()
+                )));
+            }
+            body.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        }
+        body.truncate(declared);
+        req.body = body;
+        Ok(req)
+    }
+}
+
+/// Position of the `\r\n\r\n` terminating the head, if complete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response: status + content type + body (always `Connection: close`).
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers, e.g. `Retry-After` on 429.
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl HttpResponse {
+    /// A binary (wire-codec) response.
+    pub fn binary(status: u16, body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/x-geoblocks",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra header (chainable).
+    pub fn with_header(mut self, name: &str, value: String) -> HttpResponse {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serialize to the wire.
+    pub fn write_to(&self, stream: &mut dyn Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(raw: &[u8]) -> Result<HttpRequest, HttpError> {
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        HttpRequest::read_from(&mut cursor)
+    }
+
+    #[test]
+    fn parses_request_with_body_and_headers() {
+        let raw = b"POST /v1/select HTTP/1.1\r\nHost: x\r\nX-Gb-Tenant: alice\r\nContent-Length: 5\r\n\r\nhello";
+        let req = roundtrip(raw).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/select");
+        assert_eq!(req.header("x-gb-tenant"), Some("alice"));
+        assert_eq!(req.header("X-GB-TENANT"), Some("alice"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn missing_pieces_are_errors_not_panics() {
+        assert!(roundtrip(b"").is_err());
+        assert!(roundtrip(b"GET\r\n\r\n").is_err());
+        assert!(roundtrip(b"GET /x\r\n\r\n").is_err());
+        assert!(roundtrip(b"GET /x SPDY/9\r\n\r\n").is_err());
+        assert!(roundtrip(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(roundtrip(b"GET /x HTTP/1.1\r\nContent-Length: zzz\r\n\r\n").is_err());
+        // Truncated body.
+        assert!(roundtrip(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            roundtrip(raw.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+        let huge_head = format!(
+            "GET /x HTTP/1.1\r\npad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            roundtrip(huge_head.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_status_line_and_length() {
+        let mut out = Vec::new();
+        HttpResponse::text(429, "slow down")
+            .with_header("retry-after", "1".to_string())
+            .write_to(&mut out)
+            .expect("write");
+        let s = String::from_utf8(out).expect("utf8");
+        assert!(s.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(s.contains("content-length: 9\r\n"));
+        assert!(s.contains("retry-after: 1\r\n"));
+        assert!(s.ends_with("\r\n\r\nslow down"));
+    }
+
+    #[test]
+    fn body_split_across_reads_is_reassembled() {
+        // A reader that returns one byte at a time.
+        struct OneByte(Vec<u8>, usize);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let raw = b"POST /v1/count HTTP/1.1\r\nContent-Length: 4\r\n\r\nwxyz".to_vec();
+        let req = HttpRequest::read_from(&mut OneByte(raw, 0)).expect("parse");
+        assert_eq!(req.body, b"wxyz");
+    }
+}

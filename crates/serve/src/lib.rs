@@ -1,0 +1,574 @@
+//! `gb_serve` — a std-only concurrent HTTP front-end over
+//! [`GeoBlockEngine`]: the ROADMAP's "serving front-end" step, turning
+//! the in-process query cache into a service with a measurable
+//! requests/sec story.
+//!
+//! * **Endpoints** — `POST /v1/select`, `/v1/count`, `/v1/update` (and
+//!   the kind-agnostic `/v1/query`) speak the `geoblocks::api` wire
+//!   codec: the request body is `encode_request` bytes, the response
+//!   body is `encode_reply` bytes, and the HTTP status is the total
+//!   `GbError::http_status` mapping. `GET /metrics` and `GET /healthz`
+//!   are plain text.
+//! * **Result cache** — replies for SELECT/COUNT are cached by query
+//!   shape (wire-hash of polygon + spec, mixed with the server's filter
+//!   key), bounded by TTL and capacity, and validated against the
+//!   engine's *data epoch* on every lookup — an `apply_updates` commit
+//!   invalidates transactionally because the epoch and the new data
+//!   become visible in one atomic state swap (see [`cache`]).
+//! * **Admission control** — per-tenant token buckets (`X-Gb-Tenant`
+//!   header) reject excess load with 429 + `Retry-After` before any
+//!   engine work happens (see [`quota`]).
+//! * **Concurrency** — a fixed worker fleet on `gb_common::Pool`, each
+//!   worker accepting connections from the shared listener
+//!   (thread-per-connection, pre-forked; no async runtime).
+//!
+//! The whole crate is on the `gb_lint` `panic-path` list: every failure
+//! is a typed [`GbError`]/[`http::HttpError`] value, never a panic.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod quota;
+
+use cache::ResultCache;
+use gb_common::Pool;
+use geoblocks::api::{self, QueryRequest};
+use geoblocks::{GbError, GeoBlockEngine, ServeError};
+use http::{HttpRequest, HttpResponse};
+use metrics::Metrics;
+use quota::{Admission, QuotaTable};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads accepting and handling connections.
+    pub threads: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Result-cache time-to-live.
+    pub cache_ttl: Duration,
+    /// Token-bucket burst per tenant.
+    pub quota_burst: f64,
+    /// Token-bucket refill rate per tenant (tokens/sec); `<= 0` disables
+    /// admission control.
+    pub quota_per_sec: f64,
+    /// Label of the filter this engine was built under; mixed into every
+    /// cache key so differently-filtered deployments never share entries.
+    pub filter_label: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 4,
+            cache_capacity: 4096,
+            cache_ttl: Duration::from_secs(60),
+            quota_burst: 256.0,
+            quota_per_sec: 0.0,
+            filter_label: "all".to_string(),
+        }
+    }
+}
+
+/// The server: an engine plus the serving state (cache, metrics,
+/// quotas). [`GbServer::handle`] is a pure request → response function,
+/// so the full HTTP surface is testable without sockets;
+/// [`RunningServer::start`] puts it behind a real listener.
+pub struct GbServer {
+    engine: Arc<GeoBlockEngine>,
+    cache: ResultCache,
+    metrics: Metrics,
+    quotas: QuotaTable,
+    filter_key: u64,
+    config: ServeConfig,
+}
+
+impl GbServer {
+    /// Wrap `engine` with the serving state from `config`.
+    pub fn new(engine: Arc<GeoBlockEngine>, config: ServeConfig) -> GbServer {
+        GbServer {
+            cache: ResultCache::new(config.cache_capacity, config.cache_ttl),
+            metrics: Metrics::default(),
+            quotas: QuotaTable::new(config.quota_burst, config.quota_per_sec),
+            filter_key: gb_store::fnv1a64(config.filter_label.as_bytes()),
+            engine,
+            config,
+        }
+    }
+
+    /// The wrapped engine (tests compare HTTP replies against direct
+    /// engine calls through this).
+    pub fn engine(&self) -> &Arc<GeoBlockEngine> {
+        &self.engine
+    }
+
+    /// The server metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Handle one parsed request. Pure except for the serving state:
+    /// no I/O, so tests can drive the exact HTTP surface in-process.
+    pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let start = Instant::now();
+        let resp = self.route(req);
+        self.metrics.record(
+            &req.path,
+            resp.status,
+            start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
+        resp
+    }
+
+    fn route(&self, req: &HttpRequest) -> HttpResponse {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
+            ("GET", "/metrics") => HttpResponse::text(
+                200,
+                self.metrics.render(
+                    &self.cache.stats(),
+                    self.cache.len(),
+                    self.engine.data_epoch(),
+                    self.engine.cache_epoch(),
+                ),
+            ),
+            ("POST", "/v1/query") => self.admitted(req, |r| self.query_endpoint(r, None)),
+            ("POST", "/v1/select") => {
+                self.admitted(req, |r| self.query_endpoint(r, Some(Kind::Select)))
+            }
+            ("POST", "/v1/count") => {
+                self.admitted(req, |r| self.query_endpoint(r, Some(Kind::Count)))
+            }
+            ("POST", "/v1/update") => {
+                self.admitted(req, |r| self.query_endpoint(r, Some(Kind::Update)))
+            }
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/query" | "/v1/select" | "/v1/count" | "/v1/update",
+            ) => self.error_response(GbError::Serve(ServeError::MethodNotAllowed(format!(
+                "{} {}",
+                req.method, req.path
+            )))),
+            _ => self.error_response(GbError::Serve(ServeError::NotFound(req.path.clone()))),
+        }
+    }
+
+    /// Run `f` if the tenant's token bucket admits the request.
+    fn admitted(
+        &self,
+        req: &HttpRequest,
+        f: impl FnOnce(&HttpRequest) -> HttpResponse,
+    ) -> HttpResponse {
+        let tenant = req.header("x-gb-tenant").unwrap_or("default");
+        match self.quotas.admit(tenant) {
+            Admission::Admit => f(req),
+            Admission::Reject { retry_after_ms } => self
+                .error_response(GbError::Serve(ServeError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    retry_after_ms,
+                }))
+                .with_header("retry-after", (retry_after_ms.div_ceil(1000)).to_string()),
+        }
+    }
+
+    /// Decode → (cache probe) → engine → encode. `expected` pins the
+    /// request kind for the kind-specific endpoints.
+    fn query_endpoint(&self, req: &HttpRequest, expected: Option<Kind>) -> HttpResponse {
+        let parsed = match api::decode_request(&req.body) {
+            Ok(p) => p,
+            Err(e) => return self.error_response(e),
+        };
+        if let Some(expected) = expected {
+            let actual = Kind::of(&parsed);
+            if actual != expected {
+                return self.error_response(GbError::bad_request(format!(
+                    "endpoint expects a {} request, body encodes a {}",
+                    expected.name(),
+                    actual.name()
+                )));
+            }
+        }
+
+        // Cache probe (SELECT/COUNT only — updates have no key). The
+        // epoch read here also validates the entry: a reply computed at
+        // an older data epoch never leaves the cache.
+        let key = api::request_cache_key(&parsed, self.filter_key);
+        if let Some(key) = key {
+            if let Some(reply) = self.cache.get(key, self.engine.data_epoch()) {
+                return HttpResponse::binary(200, reply);
+            }
+        }
+
+        let outcome = self.engine.query(&parsed);
+        let body = api::encode_reply(&outcome);
+        match outcome {
+            Ok(reply) => {
+                if let Some(key) = key {
+                    // Tag the entry with the epoch the reply was computed
+                    // at; if an update commits between compute and
+                    // insert, the entry is stale-on-arrival and will
+                    // never be served.
+                    self.cache.insert(key, body.clone(), reply.epoch());
+                }
+                if matches!(parsed, QueryRequest::Update { .. }) {
+                    // Space reclamation only — correctness comes from the
+                    // per-lookup epoch check.
+                    self.cache.purge_stale(self.engine.data_epoch());
+                }
+                HttpResponse::binary(200, body)
+            }
+            Err(e) => HttpResponse::binary(e.http_status(), body),
+        }
+    }
+
+    /// Encode `e` as a wire error reply with its mapped HTTP status.
+    fn error_response(&self, e: GbError) -> HttpResponse {
+        let status = e.http_status();
+        HttpResponse::binary(status, api::encode_reply(&Err(e)))
+    }
+
+    /// Serve connections from `listener` until `shutdown` flips. Blocks
+    /// the calling thread; workers run on a scoped [`Pool`].
+    pub fn run(&self, listener: TcpListener, shutdown: &AtomicBool) -> Result<(), GbError> {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| serve_internal(format!("set_nonblocking: {e}")))?;
+        let workers = self.config.threads.max(1);
+        // One accept loop per worker on the shared listener: the kernel
+        // wakes exactly one blocked acceptor per connection, and the
+        // nonblocking poll keeps shutdown latency bounded.
+        Pool::new(workers).run(workers, |_| loop {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => self.serve_connection(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        });
+        Ok(())
+    }
+
+    /// Read one request, answer it, close. Transport errors get a
+    /// best-effort 400/500 and never propagate (a broken peer must not
+    /// take a worker down).
+    fn serve_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_nodelay(true);
+        let response = match HttpRequest::read_from(&mut stream) {
+            Ok(req) => self.handle(&req),
+            Err(http::HttpError::TooLarge(m)) => HttpResponse::text(413, m),
+            Err(http::HttpError::Malformed(m)) => HttpResponse::text(400, m),
+            Err(http::HttpError::Io(_)) => return, // peer vanished; nothing to answer
+        };
+        let _ = response.write_to(&mut stream);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Request kinds, for pinning the kind-specific endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Select,
+    Count,
+    Update,
+}
+
+impl Kind {
+    fn of(req: &QueryRequest) -> Kind {
+        match req {
+            QueryRequest::Select { .. } => Kind::Select,
+            QueryRequest::Count { .. } => Kind::Count,
+            QueryRequest::Update { .. } => Kind::Update,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Select => "select",
+            Kind::Count => "count",
+            Kind::Update => "update",
+        }
+    }
+}
+
+fn serve_internal(msg: String) -> GbError {
+    GbError::Serve(ServeError::Internal(msg))
+}
+
+/// A server running on a background thread, stopped explicitly or on
+/// drop. [`RunningServer::start`] binds, spawns, and returns once the
+/// listener is live, so tests and the CLI can connect immediately.
+pub struct RunningServer {
+    server: Arc<GbServer>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// Bind `bind_addr` (e.g. `"127.0.0.1:0"`) and serve in the
+    /// background until [`RunningServer::stop`] or drop.
+    pub fn start(server: GbServer, bind_addr: &str) -> Result<RunningServer, GbError> {
+        let listener = TcpListener::bind(bind_addr)
+            .map_err(|e| serve_internal(format!("bind {bind_addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| serve_internal(format!("local_addr: {e}")))?;
+        let server = Arc::new(server);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let run_server = Arc::clone(&server);
+        let run_shutdown = Arc::clone(&shutdown);
+        // gb-lint: allow(rogue-spawn) -- the serve loop must outlive this call (stopped via the shutdown flag + join in stop()); Pool is fork-join and spawn_join would block here
+        let thread = std::thread::spawn(move || {
+            let _ = run_server.run(listener, &run_shutdown);
+        });
+        Ok(RunningServer {
+            server,
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (real port even when started on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared server state (for metrics/engine access while live).
+    pub fn server(&self) -> &Arc<GbServer> {
+        &self.server
+    }
+
+    /// Signal shutdown and join the serve thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_cell::Grid;
+    use gb_data::{extract, AggSpec, CleaningRules, ColumnDef, Filter, RawTable, Schema};
+    use gb_geom::{Point, Polygon, Rect};
+    use geoblocks::api::QueryReply;
+    use geoblocks::{build, UpdateBatch};
+
+    fn test_server(quota_per_sec: f64, cache_capacity: usize) -> GbServer {
+        let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v")]));
+        let mut state = 11u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 10_000) as f64 / 100.0
+        };
+        for i in 0..3000 {
+            raw.push_row(Point::new(next(), next()), &[i as f64]);
+        }
+        let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        let base = extract(&raw, grid, &CleaningRules::none(), None).base;
+        let (block, _) = build(&base, 8, &Filter::all());
+        let engine = Arc::new(GeoBlockEngine::new(block, 0.3));
+        GbServer::new(
+            engine,
+            ServeConfig {
+                quota_per_sec,
+                quota_burst: 3.0,
+                cache_capacity,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    fn diamond(cx: f64, cy: f64, r: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(cx, cy - r),
+            Point::new(cx + r, cy),
+            Point::new(cx, cy + r),
+            Point::new(cx - r, cy),
+        ])
+    }
+
+    fn select_req(cx: f64) -> Vec<u8> {
+        api::encode_request(&QueryRequest::Select {
+            polygon: diamond(cx, 50.0, 10.0),
+            spec: AggSpec::new(vec![gb_data::AggRequest::new(gb_data::AggFunc::Count, 0)]),
+        })
+    }
+
+    fn post(path: &str, body: Vec<u8>) -> HttpRequest {
+        HttpRequest::new("POST", path).with_body(body)
+    }
+
+    #[test]
+    fn select_endpoint_answers_and_caches() {
+        let server = test_server(0.0, 64);
+        let r1 = server.handle(&post("/v1/select", select_req(40.0)));
+        assert_eq!(r1.status, 200);
+        let reply = api::decode_reply(&r1.body).expect("decode");
+        let direct = match reply {
+            QueryReply::Select(r) => r,
+            other => panic!("wrong kind: {other:?}"),
+        };
+        let want = server.engine().select(
+            &diamond(40.0, 50.0, 10.0),
+            &AggSpec::new(vec![gb_data::AggRequest::new(gb_data::AggFunc::Count, 0)]),
+        );
+        assert_eq!(direct.result.count, want.result.count);
+
+        // Second identical request: served from the cache, bit-identical.
+        let r2 = server.handle(&post("/v1/select", select_req(40.0)));
+        assert_eq!(r2.body, r1.body, "cached reply must be byte-identical");
+        assert_eq!(server.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn update_invalidates_cached_replies() {
+        let server = test_server(0.0, 64);
+        let r1 = server.handle(&post("/v1/select", select_req(40.0)));
+        let mut batch = UpdateBatch::new();
+        batch.push(Point::new(40.0, 50.0), vec![7.0]);
+        let ru = server.handle(&post(
+            "/v1/update",
+            api::encode_request(&QueryRequest::Update { batch }),
+        ));
+        assert_eq!(ru.status, 200);
+        assert_eq!(server.engine().data_epoch(), 1);
+        // The same query now recomputes (epoch mismatch) and differs.
+        let r2 = server.handle(&post("/v1/select", select_req(40.0)));
+        assert_ne!(r2.body, r1.body, "stale reply served after update");
+        let hits_before = server.cache().stats().hits;
+        let r3 = server.handle(&post("/v1/select", select_req(40.0)));
+        assert_eq!(r3.body, r2.body);
+        assert_eq!(server.cache().stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn kind_pinned_endpoints_reject_mismatched_bodies() {
+        let server = test_server(0.0, 64);
+        let resp = server.handle(&post("/v1/count", select_req(40.0)));
+        assert_eq!(resp.status, 400);
+        let err = api::decode_reply(&resp.body).expect_err("error reply");
+        assert_eq!(err.http_status(), 400);
+        // /v1/query accepts any kind.
+        let resp = server.handle(&post("/v1/query", select_req(40.0)));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_map_to_404_405() {
+        let server = test_server(0.0, 64);
+        assert_eq!(server.handle(&HttpRequest::new("GET", "/nope")).status, 404);
+        assert_eq!(
+            server.handle(&HttpRequest::new("GET", "/v1/select")).status,
+            405
+        );
+        assert_eq!(
+            server.handle(&HttpRequest::new("POST", "/metrics")).status,
+            405
+        );
+        let garbage = server.handle(&post("/v1/query", vec![9, 9, 9]));
+        assert_eq!(garbage.status, 400);
+    }
+
+    #[test]
+    fn quota_rejects_with_retry_after_and_exempts_metrics() {
+        let server = test_server(0.001, 64); // burst 3, glacial refill
+        for _ in 0..3 {
+            assert_eq!(
+                server.handle(&post("/v1/select", select_req(40.0))).status,
+                200
+            );
+        }
+        let rejected = server.handle(&post("/v1/select", select_req(40.0)));
+        assert_eq!(rejected.status, 429);
+        assert!(rejected
+            .extra_headers
+            .iter()
+            .any(|(n, _)| n == "retry-after"));
+        let err = api::decode_reply(&rejected.body).expect_err("quota error");
+        assert_eq!(err.http_status(), 429);
+        // Other tenants and observability stay live.
+        let other = post("/v1/select", select_req(40.0)).with_header("x-gb-tenant", "vip");
+        assert_eq!(server.handle(&other).status, 200);
+        assert_eq!(
+            server.handle(&HttpRequest::new("GET", "/metrics")).status,
+            200
+        );
+        assert_eq!(server.metrics().quota_rejections(), 1);
+    }
+
+    #[test]
+    fn metrics_expose_cache_and_epoch_state() {
+        let server = test_server(0.0, 64);
+        server.handle(&post("/v1/select", select_req(40.0)));
+        server.handle(&post("/v1/select", select_req(40.0)));
+        let text = String::from_utf8(server.handle(&HttpRequest::new("GET", "/metrics")).body)
+            .expect("utf8");
+        assert_eq!(
+            metrics::scrape(&text, "gb_result_cache_hits_total"),
+            Some(1.0)
+        );
+        assert_eq!(metrics::scrape(&text, "gb_data_epoch"), Some(0.0));
+        assert!(
+            metrics::scrape(&text, "gb_requests_total{route=\"/v1/select\"}")
+                .is_some_and(|v| v >= 2.0)
+        );
+    }
+
+    #[test]
+    fn running_server_serves_real_sockets() {
+        let server = test_server(0.0, 64);
+        let running = RunningServer::start(server, "127.0.0.1:0").expect("start");
+        let addr = running.addr();
+        let health = client::get(addr, "/healthz").expect("healthz");
+        assert_eq!(health.status, 200);
+        let reply = client::post_query(
+            addr,
+            "/v1/select",
+            None,
+            &QueryRequest::Select {
+                polygon: diamond(40.0, 50.0, 10.0),
+                spec: AggSpec::new(vec![gb_data::AggRequest::new(gb_data::AggFunc::Count, 0)]),
+            },
+        )
+        .expect("select over HTTP");
+        assert!(matches!(reply, QueryReply::Select(_)));
+        running.stop();
+    }
+}

@@ -1,0 +1,271 @@
+//! Server metrics: request/status counters, cache hit/miss, quota
+//! rejections, and a log2-bucketed latency histogram — rendered as a
+//! Prometheus-style text exposition on `GET /metrics`.
+//!
+//! Everything is lock-free atomics so the hot path pays a handful of
+//! relaxed `fetch_add`s. The histogram's 64 power-of-two buckets cover
+//! 1 ns to ~584 years; quantiles are estimated by bucket upper bounds,
+//! which is exactly the fidelity a p99 gate needs (within 2× of truth).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Routes tracked individually (everything else lands in `other`).
+const ROUTES: &[&str] = &[
+    "/v1/query",
+    "/v1/select",
+    "/v1/count",
+    "/v1/update",
+    "/metrics",
+    "/healthz",
+];
+
+/// A fixed-bucket (log2) latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..64).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, ns: u64) {
+        let bucket = (64 - ns.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
+        if let Some(b) = self.buckets.get(bucket) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0..=1.0).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// All server counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    route_hits: [AtomicU64; 6],
+    route_other: AtomicU64,
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    quota_rejections: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Record one finished request.
+    pub fn record(&self, path: &str, status: u16, elapsed_ns: u64) {
+        match ROUTES.iter().position(|r| *r == path) {
+            Some(i) => {
+                if let Some(c) = self.route_hits.get(i) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.route_other.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let class = match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        if status == 429 {
+            self.quota_rejections.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(elapsed_ns);
+    }
+
+    /// Total requests across every route.
+    pub fn total_requests(&self) -> u64 {
+        self.route_hits
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.route_other.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by admission control.
+    pub fn quota_rejections(&self) -> u64 {
+        self.quota_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus-style exposition. Cache and engine numbers
+    /// are passed in so this module stays dependency-free.
+    pub fn render(
+        &self,
+        cache: &crate::cache::CacheStats,
+        cache_len: usize,
+        data_epoch: u64,
+        cache_epoch: u64,
+    ) -> String {
+        let mut out = String::with_capacity(1024);
+        for (i, route) in ROUTES.iter().enumerate() {
+            let n = self
+                .route_hits
+                .get(i)
+                .map_or(0, |c| c.load(Ordering::Relaxed));
+            out.push_str(&format!("gb_requests_total{{route=\"{route}\"}} {n}\n"));
+        }
+        out.push_str(&format!(
+            "gb_requests_total{{route=\"other\"}} {}\n",
+            self.route_other.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "gb_responses_total{{class=\"2xx\"}} {}\n",
+            self.status_2xx.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "gb_responses_total{{class=\"4xx\"}} {}\n",
+            self.status_4xx.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "gb_responses_total{{class=\"5xx\"}} {}\n",
+            self.status_5xx.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "gb_quota_rejections_total {}\n",
+            self.quota_rejections()
+        ));
+        out.push_str(&format!("gb_result_cache_hits_total {}\n", cache.hits));
+        out.push_str(&format!("gb_result_cache_misses_total {}\n", cache.misses));
+        out.push_str(&format!(
+            "gb_result_cache_hit_rate {:.6}\n",
+            cache.hit_rate()
+        ));
+        out.push_str(&format!("gb_result_cache_entries {cache_len}\n"));
+        out.push_str(&format!(
+            "gb_result_cache_evictions_total {}\n",
+            cache.evictions
+        ));
+        out.push_str(&format!("gb_data_epoch {data_epoch}\n"));
+        out.push_str(&format!("gb_trie_cache_epoch {cache_epoch}\n"));
+        out.push_str(&format!(
+            "gb_request_latency_ns{{quantile=\"0.5\"}} {}\n",
+            self.latency.quantile_ns(0.5)
+        ));
+        out.push_str(&format!(
+            "gb_request_latency_ns{{quantile=\"0.99\"}} {}\n",
+            self.latency.quantile_ns(0.99)
+        ));
+        out.push_str(&format!(
+            "gb_request_latency_mean_ns {}\n",
+            self.latency.mean_ns()
+        ));
+        out.push_str(&format!(
+            "gb_request_latency_count {}\n",
+            self.latency.count()
+        ));
+        out
+    }
+}
+
+/// Pull one metric's value back out of an exposition (used by the bench
+/// harness and CI smoke to scrape `/metrics` without a Prometheus
+/// client). Matches on the exact line prefix, e.g.
+/// `scrape(&text, "gb_result_cache_hits_total")`.
+pub fn scrape(exposition: &str, metric: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(metric)?;
+        // Either `metric value` or `metric{labels} value` — the caller
+        // includes the labels in `metric` when they matter.
+        let value = rest.trim_start_matches(|c: char| c != ' ').trim();
+        value.parse::<f64>().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1000); // bucket 2^10
+        }
+        h.record(1_000_000); // one slow outlier, bucket 2^20
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ns(0.5), 1024);
+        assert_eq!(h.quantile_ns(0.99), 1024);
+        assert_eq!(h.quantile_ns(1.0), 1 << 20);
+        assert!(h.mean_ns() >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn render_and_scrape_roundtrip() {
+        let m = Metrics::default();
+        m.record("/v1/select", 200, 5_000);
+        m.record("/v1/select", 200, 6_000);
+        m.record("/v1/update", 400, 7_000);
+        m.record("/nope", 429, 100);
+        let cache = crate::cache::CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 1,
+            evictions: 0,
+        };
+        let text = m.render(&cache, 2, 5, 9);
+        assert_eq!(
+            scrape(&text, "gb_requests_total{route=\"/v1/select\"}"),
+            Some(2.0)
+        );
+        assert_eq!(
+            scrape(&text, "gb_responses_total{class=\"4xx\"}"),
+            Some(2.0)
+        );
+        assert_eq!(scrape(&text, "gb_result_cache_hits_total"), Some(3.0));
+        assert_eq!(scrape(&text, "gb_result_cache_hit_rate"), Some(0.75));
+        assert_eq!(scrape(&text, "gb_data_epoch"), Some(5.0));
+        assert_eq!(scrape(&text, "gb_quota_rejections_total"), Some(1.0));
+        assert_eq!(scrape(&text, "gb_nonexistent"), None);
+        assert_eq!(m.total_requests(), 4);
+    }
+}

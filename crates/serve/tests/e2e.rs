@@ -1,0 +1,271 @@
+//! End-to-end smoke over real sockets: N client threads drive a running
+//! server with mixed SELECT/COUNT traffic across update epochs, and every
+//! HTTP reply must be bit-identical to a direct engine call at the same
+//! epoch. Also covers the failure surface (404/405/400/413/429) and the
+//! `/metrics` exposition as a client would see them.
+
+use gb_cell::Grid;
+use gb_data::{
+    extract, AggFunc, AggRequest, AggSpec, CleaningRules, ColumnDef, Filter, RawTable, Schema,
+};
+use gb_geom::{Point, Polygon, Rect};
+use gb_serve::{client, metrics, GbServer, RunningServer, ServeConfig};
+use geoblocks::api::{QueryReply, QueryRequest};
+use geoblocks::{build, GeoBlockEngine, UpdateBatch};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec() -> AggSpec {
+    AggSpec::new(vec![
+        AggRequest::new(AggFunc::Count, 0),
+        AggRequest::new(AggFunc::Sum, 0),
+        AggRequest::new(AggFunc::Max, 0),
+    ])
+}
+
+fn fresh_engine() -> Arc<GeoBlockEngine> {
+    let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v")]));
+    let mut state = 42u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 16) % 10_000) as f64 / 100.0
+    };
+    for i in 0..4000 {
+        raw.push_row(Point::new(next(), next()), &[(i % 97) as f64 - 11.0]);
+    }
+    let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+    let base = extract(&raw, grid, &CleaningRules::none(), None).base;
+    let (block, _) = build(&base, 8, &Filter::all());
+    Arc::new(GeoBlockEngine::new(block, 0.3))
+}
+
+fn diamond(cx: f64, cy: f64, r: f64) -> Polygon {
+    Polygon::new(vec![
+        Point::new(cx, cy - r),
+        Point::new(cx + r, cy),
+        Point::new(cx, cy + r),
+        Point::new(cx - r, cy),
+    ])
+}
+
+fn polygon(i: usize) -> Polygon {
+    diamond(
+        12.0 + (i % 5) as f64 * 18.0,
+        25.0 + (i % 3) as f64 * 22.0,
+        9.0,
+    )
+}
+
+fn start_server(cfg: ServeConfig) -> RunningServer {
+    RunningServer::start(GbServer::new(fresh_engine(), cfg), "127.0.0.1:0").expect("server start")
+}
+
+/// The headline e2e: concurrent clients, mixed ops, updates between
+/// phases, every reply checked bit-for-bit against the engine.
+#[test]
+fn concurrent_clients_get_engine_identical_replies() {
+    let running = start_server(ServeConfig {
+        threads: 4,
+        quota_per_sec: 0.0,
+        ..ServeConfig::default()
+    });
+    let addr = running.addr();
+    let engine = Arc::clone(running.server().engine());
+    let s = spec();
+
+    const CLIENTS: usize = 6;
+    const REQS_PER_CLIENT: usize = 10;
+    // Two phases with an update batch in between: replies must track the
+    // epoch they were served at, never mix.
+    for phase in 0..2u64 {
+        let errors = std::sync::Mutex::new(Vec::<String>::new());
+        gb_common::Pool::new(CLIENTS).run(CLIENTS, |c| {
+            for r in 0..REQS_PER_CLIENT {
+                let poly = polygon(c * REQS_PER_CLIENT + r);
+                let outcome = if r % 3 == 0 {
+                    let want = engine.count(&poly);
+                    match client::post_query(
+                        addr,
+                        "/v1/count",
+                        Some("e2e"),
+                        &QueryRequest::Count {
+                            polygon: poly.clone(),
+                        },
+                    ) {
+                        Ok(QueryReply::Count(got)) => {
+                            if got.result != want.result || got.epoch != want.epoch {
+                                Err(format!(
+                                    "count diverged: got ({}, epoch {}), want ({}, epoch {})",
+                                    got.result, got.epoch, want.result, want.epoch
+                                ))
+                            } else {
+                                Ok(())
+                            }
+                        }
+                        Ok(other) => Err(format!("wrong reply kind: {other:?}")),
+                        Err(e) => Err(format!("count request failed: {e:?}")),
+                    }
+                } else {
+                    let want = engine.select(&poly, &s);
+                    match client::post_query(
+                        addr,
+                        "/v1/select",
+                        Some("e2e"),
+                        &QueryRequest::Select {
+                            polygon: poly.clone(),
+                            spec: s.clone(),
+                        },
+                    ) {
+                        Ok(QueryReply::Select(got)) => {
+                            let bits = |r: &geoblocks::AggResult| {
+                                r.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                            };
+                            if got.result.count != want.result.count
+                                || bits(&got.result) != bits(&want.result)
+                                || got.epoch != want.epoch
+                            {
+                                Err(format!(
+                                    "select diverged at epoch {}: {:?} vs {:?}",
+                                    got.epoch, got.result, want.result
+                                ))
+                            } else {
+                                Ok(())
+                            }
+                        }
+                        Ok(other) => Err(format!("wrong reply kind: {other:?}")),
+                        Err(e) => Err(format!("select request failed: {e:?}")),
+                    }
+                };
+                if let Err(msg) = outcome {
+                    errors.lock().expect("errors lock").push(msg);
+                }
+            }
+        });
+        let errors = errors.into_inner().expect("errors lock");
+        assert!(errors.is_empty(), "phase {phase}: {errors:?}");
+
+        if phase == 0 {
+            // Push an update over HTTP and verify the epoch advanced.
+            let mut batch = UpdateBatch::new();
+            for j in 0..20 {
+                batch.push(Point::new(10.0 + j as f64 * 4.0, 30.0), vec![j as f64]);
+            }
+            let reply = client::post_query(
+                addr,
+                "/v1/update",
+                Some("e2e"),
+                &QueryRequest::Update { batch },
+            )
+            .expect("update over HTTP");
+            let QueryReply::Update(report) = reply else {
+                panic!("wrong reply kind: {reply:?}");
+            };
+            assert_eq!(report.epoch, 1, "first update must land at epoch 1");
+            assert_eq!(engine.data_epoch(), 1);
+        }
+    }
+
+    // The shared polygon pool means repeats: the cache must have hits,
+    // and /metrics must report them.
+    let exposition = client::get(addr, "/metrics").expect("metrics scrape");
+    assert_eq!(exposition.status, 200);
+    let text = String::from_utf8(exposition.body).expect("metrics utf8");
+    let hits = metrics::scrape(&text, "gb_result_cache_hits_total").expect("hits metric");
+    assert!(
+        hits > 0.0,
+        "expected cache hits under repeated polygons:\n{text}"
+    );
+    let total = metrics::scrape(&text, "gb_request_latency_count").expect("latency count");
+    assert!(
+        total >= (2 * CLIENTS * REQS_PER_CLIENT) as f64,
+        "latency histogram undercounts: {total}"
+    );
+    running.stop();
+}
+
+/// The error surface as a real client sees it.
+#[test]
+fn http_error_mapping_over_sockets() {
+    let running = start_server(ServeConfig {
+        threads: 2,
+        quota_per_sec: 0.0,
+        ..ServeConfig::default()
+    });
+    let addr = running.addr();
+
+    assert_eq!(client::get(addr, "/nope").expect("404").status, 404);
+    assert_eq!(client::get(addr, "/v1/select").expect("405").status, 405);
+    let garbage = client::request(addr, "POST", "/v1/query", &[], &[1, 2, 3]).expect("400");
+    assert_eq!(garbage.status, 400);
+    // An oversized declared body trips the cap before any read. Sent raw
+    // because the convenience client always sets its own content-length.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /v1/query HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n")
+            .expect("write");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read");
+        let head = String::from_utf8_lossy(&raw);
+        assert!(
+            head.starts_with("HTTP/1.1 413 "),
+            "expected 413 for an oversized declaration, got: {head}"
+        );
+    }
+    running.stop();
+}
+
+/// Admission control over sockets: a bursty tenant gets 429 + Retry-After
+/// while a second tenant stays admitted.
+#[test]
+fn quota_rejections_reach_the_wire() {
+    let running = start_server(ServeConfig {
+        threads: 2,
+        quota_burst: 2.0,
+        quota_per_sec: 0.001,
+        ..ServeConfig::default()
+    });
+    let addr = running.addr();
+    let body = geoblocks::api::encode_request(&QueryRequest::Count {
+        polygon: polygon(0),
+    });
+
+    let mut saw_429 = false;
+    for _ in 0..4 {
+        let resp = client::request(
+            addr,
+            "POST",
+            "/v1/count",
+            &[("x-gb-tenant", "greedy")],
+            &body,
+        )
+        .expect("request");
+        if resp.status == 429 {
+            saw_429 = true;
+            let err = geoblocks::api::decode_reply(&resp.body).expect_err("error reply");
+            assert_eq!(err.http_status(), 429);
+        }
+    }
+    assert!(saw_429, "burst of 4 against burst=2 must trip the quota");
+    let other = client::request(
+        addr,
+        "POST",
+        "/v1/count",
+        &[("x-gb-tenant", "patient")],
+        &body,
+    )
+    .expect("request");
+    assert_eq!(other.status, 200, "tenants must be isolated");
+
+    std::thread::sleep(Duration::from_millis(50));
+    let text =
+        String::from_utf8(client::get(addr, "/metrics").expect("metrics").body).expect("utf8");
+    assert!(
+        metrics::scrape(&text, "gb_quota_rejections_total").is_some_and(|v| v >= 1.0),
+        "metrics must count quota rejections:\n{text}"
+    );
+    running.stop();
+}

@@ -79,7 +79,7 @@ fn main() {
     let mut qc_totals = Vec::new();
     for burst in 0..5 {
         let t = Timer::start();
-        let checksum = session.run(|p, s| qc.select(p, s).0.count);
+        let checksum = session.run(|p, s| qc.select(p, s).result.count);
         qc_totals.push((t.elapsed_ms(), checksum));
         if burst == 0 {
             qc.rebuild_cache(); // materialize the hot areas
@@ -111,9 +111,9 @@ fn main() {
         let y = 30.0 + (i / 25) as f64 * 0.6;
         batch.push(Point::new(x, y), vec![10.0; schema_len]);
     }
-    let before = qc.count(&session.hot[0]).0;
+    let before = qc.count(&session.hot[0]).result;
     let report = qc.apply_updates(&batch);
-    let after = qc.count(&session.hot[0]).0;
+    let after = qc.count(&session.hot[0]).result;
     println!(
         "\nupdates: {} in place, {} new cells; hot-area count {before} → {after}",
         report.in_place, report.new_cells

@@ -79,8 +79,11 @@ fn main() {
     }
     qc.rebuild_cache();
     qc.reset_metrics();
-    let (cached, _) = qc.select(neighborhood, &spec);
-    assert_eq!(cached.count, result.count, "cache must not change results");
+    let cached = qc.select(neighborhood, &spec);
+    assert_eq!(
+        cached.result.count, result.count,
+        "cache must not change results"
+    );
     println!(
         "\nBlockQC answered the repeat query with a {:.0}% cache hit rate",
         qc.metrics().hit_rate() * 100.0

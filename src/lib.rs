@@ -9,6 +9,8 @@
 //! * [`gb_cell`] / [`gb_geom`] — spatial substrates,
 //! * [`gb_data`] — columnar tables, extract phase, synthetic datasets,
 //! * [`gb_store`] — versioned snapshot container (persistence),
+//! * [`gb_serve`] — std-only HTTP serving front-end (wire endpoints,
+//!   epoch-validated result cache, metrics, admission control),
 //! * [`gb_btree`] / [`gb_phtree`] / [`gb_artree`] — baseline substrates,
 //! * [`gb_baselines`] — the unified evaluation interface.
 
@@ -20,5 +22,6 @@ pub use gb_common;
 pub use gb_data;
 pub use gb_geom;
 pub use gb_phtree;
+pub use gb_serve;
 pub use gb_store;
 pub use geoblocks;

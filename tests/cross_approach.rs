@@ -58,7 +58,7 @@ fn blockqc_stays_exact_across_cache_lifecycles() {
     let mut qc = GeoBlockQC::new(block.clone(), 0.05);
     for round in 0..4 {
         for poly in &polys {
-            let (got, _) = qc.select(poly, &spec);
+            let got = qc.select(poly, &spec).result;
             let (want, _) = block.select(poly, &spec);
             assert!(got.approx_eq(&want, 1e-9), "round {round} mismatch");
         }
@@ -245,10 +245,10 @@ fn updates_keep_all_query_paths_consistent() {
     // SELECT (cached) == SELECT (uncached block) == COUNT, post-update.
     let block_after = qc.block().clone();
     for poly in &polys {
-        let (cached, _) = qc.select(poly, &spec);
+        let cached = qc.select(poly, &spec).result;
         let (plain, _) = block_after.select(poly, &spec);
         assert!(cached.approx_eq(&plain, 1e-9), "{cached:?} vs {plain:?}");
-        assert_eq!(qc.count(poly).0, cached.count);
+        assert_eq!(qc.count(poly).result, cached.count);
     }
 }
 

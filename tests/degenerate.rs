@@ -69,13 +69,13 @@ fn assert_contract(
     s: &AggSpec,
     label: &str,
 ) -> Result<(AggResult, u64), TestCaseError> {
-    let (sel, _) = qc.select(poly, s);
+    let sel = qc.select(poly, s).result;
     let want = covering_truth(base, qc.block(), poly, s);
     prop_assert!(
         sel.approx_eq(&want, 1e-9),
         "{label}: select {sel:?} vs covering truth {want:?}"
     );
-    let (cnt, _) = qc.count(poly);
+    let cnt = qc.count(poly).result;
     prop_assert_eq!(cnt, sel.count, "{} count/select disagree", label);
     let exact = gt.exact_count(poly);
     prop_assert!(
@@ -207,8 +207,8 @@ fn all_identical_vertices_do_not_panic() {
     for (x, y) in [(37.3, 61.7), (0.0, 0.0), (99.99, 99.99)] {
         let p = Point::new(x, y);
         let poly = Polygon::new(vec![p, p, p]);
-        let (sel, _) = qc.select(&poly, &s);
-        let (cnt, _) = qc.count(&poly);
+        let sel = qc.select(&poly, &s).result;
+        let cnt = qc.count(&poly).result;
         assert_eq!(cnt, sel.count);
         assert!(cnt >= gt.exact_count(&poly));
         let want = {
