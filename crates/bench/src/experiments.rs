@@ -1131,11 +1131,11 @@ pub fn scale_threads(ctx: &Ctx, thread_counts: &[usize]) -> (Report, Vec<BenchRe
 /// ns/request, lower is better) and `serve/p99` (p99 request latency in
 /// ns from the server's own histogram) for `BENCH_ci.json` / `bench_diff`.
 pub fn serve_bench(ctx: &Ctx, clients: usize) -> Result<(Report, Vec<BenchRecord>), String> {
+    use gb_common::Counter;
     use gb_common::Pool;
     use gb_serve::{client, metrics as serve_metrics, GbServer, RunningServer, ServeConfig};
     use geoblocks::api::{QueryReply, QueryRequest};
     use geoblocks::{GeoBlockEngine, UpdateBatch};
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     let clients = clients.max(1);
@@ -1230,7 +1230,7 @@ pub fn serve_bench(ctx: &Ctx, clients: usize) -> Result<(Report, Vec<BenchRecord
     // and the cache earns hits); client 0 pushes a small update batch
     // every 40 requests to keep epochs advancing under load.
     let reqs_per_client = ctx.rows(200_000).clamp(2_000, 200_000) / 1_000 + 80;
-    let failures = AtomicU64::new(0);
+    let failures = Counter::new();
     let timer = gb_common::Timer::start();
     Pool::new(clients).run(clients, |c| {
         for r in 0..reqs_per_client {
@@ -1269,13 +1269,13 @@ pub fn serve_bench(ctx: &Ctx, clients: usize) -> Result<(Report, Vec<BenchRecord
                 )
             };
             if outcome.is_err() {
-                failures.fetch_add(1, Ordering::Relaxed);
+                failures.incr();
             }
         }
     });
     let wall = timer.elapsed().as_secs_f64();
     let total = (clients * reqs_per_client) as f64;
-    let errors = failures.load(Ordering::Relaxed);
+    let errors = failures.get();
     if errors > 0 {
         return Err(format!("serve-bench: {errors} of {total} requests failed"));
     }

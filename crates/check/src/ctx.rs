@@ -1,0 +1,45 @@
+//! Thread-local binding of a model thread to its run's scheduler.
+
+use crate::sched::Scheduler;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Bind this OS thread to `sched` as model thread `tid` for the
+/// duration of the returned guard.
+pub(crate) fn bind(sched: Arc<Scheduler>, tid: usize) -> CtxGuard {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+    CtxGuard
+}
+
+/// Unbinds on drop, so a pooled/reused OS thread never leaks a stale
+/// scheduler reference.
+pub(crate) struct CtxGuard;
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// The current model thread's scheduler and tid. Panics (with a
+/// actionable message) when a checked primitive is used outside a model
+/// run — kernels under test must be constructed inside the closure
+/// passed to `gb_check::check`.
+pub(crate) fn current() -> (Arc<Scheduler>, usize) {
+    CTX.with(|c| {
+        c.borrow().clone().expect(
+            "gb_check primitive used outside a model run: construct and use \
+             CheckedBackend types inside the closure passed to gb_check::check",
+        )
+    })
+}
+
+/// Whether this OS thread is currently a model thread (used by the
+/// quiet panic hook to suppress expected-failure output).
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}

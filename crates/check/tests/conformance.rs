@@ -1,0 +1,89 @@
+//! Model-conformance property test: the sequential [`CacheModel`]
+//! shadow that `gb_check`'s concurrency tests trust must agree with the
+//! *production* `ResultCache<StdBackend>`, operation for operation, on
+//! arbitrary op sequences — same hits, same misses, same returned
+//! bytes, same live-entry counts. If the real cache's semantics drift
+//! (eviction policy, TTL boundary, epoch validation), this test fails
+//! before the model-checked invariants silently stop meaning anything.
+
+use gb_check::models::CacheModel;
+use gb_serve::cache::ResultCache;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One cache operation, decoded from a generated tuple. Keys, epochs,
+/// and ticks are drawn from tiny domains so sequences revisit entries,
+/// cross epochs, and straddle the TTL boundary instead of missing
+/// forever.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Get { key: u64, epoch: u64, now_us: u64 },
+    Insert { key: u64, epoch: u64, now_us: u64 },
+    Purge { epoch: u64, now_us: u64 },
+}
+
+fn decode(op: u8, key: u64, epoch: u64, tick: u64) -> Op {
+    // Ticks cluster around the 1ms TTL so both sides of the inclusive
+    // boundary (1_000 vs 1_001) are exercised.
+    let now_us = tick * 250;
+    match op % 4 {
+        0 | 1 => Op::Get { key, epoch, now_us },
+        2 => Op::Insert { key, epoch, now_us },
+        _ => Op::Purge { epoch, now_us },
+    }
+}
+
+/// The reply bytes for (key, epoch): deterministic, so divergence in
+/// *which entry* is returned shows up as a byte mismatch too.
+fn reply(key: u64, epoch: u64) -> Vec<u8> {
+    vec![key as u8, epoch as u8, 0xAB]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_model_matches_production_cache(
+        cap in 0usize..5,
+        ops in prop::collection::vec((0u8..4, 0u64..6, 0u64..3, 0u64..9), 1..80),
+    ) {
+        let ttl = Duration::from_millis(1);
+        let real: ResultCache = ResultCache::new(cap, ttl);
+        let mut shadow = CacheModel::new(cap, ttl.as_micros() as u64);
+
+        for (i, &(op, key, epoch, tick)) in ops.iter().enumerate() {
+            match decode(op, key, epoch, tick) {
+                Op::Get { key, epoch, now_us } => {
+                    let got = real.get_at(key, epoch, now_us);
+                    let want = shadow.get_at(key, epoch, now_us);
+                    prop_assert_eq!(
+                        got, want,
+                        "op {}: get_at({}, epoch {}, {}us) diverged", i, key, epoch, now_us
+                    );
+                }
+                Op::Insert { key, epoch, now_us } => {
+                    real.insert_at(key, reply(key, epoch), epoch, now_us);
+                    shadow.insert_at(key, reply(key, epoch), epoch, now_us);
+                }
+                Op::Purge { epoch, now_us } => {
+                    real.purge_stale_at(epoch, now_us);
+                    shadow.purge_stale_at(epoch, now_us);
+                }
+            }
+            prop_assert_eq!(
+                real.len(), shadow.len(),
+                "op {}: live-entry counts diverged", i
+            );
+        }
+
+        // Terminal sweep: every key agrees at every epoch/tick probe.
+        for key in 0..6u64 {
+            for epoch in 0..3u64 {
+                let got = real.get_at(key, epoch, 2_000);
+                let want = shadow.get_at(key, epoch, 2_000);
+                prop_assert_eq!(got, want, "terminal probe diverged for key {}", key);
+            }
+        }
+        prop_assert_eq!(real.is_empty(), shadow.is_empty());
+    }
+}

@@ -15,20 +15,30 @@
 //! * [`fmt`] — human-readable byte/duration formatting for reports.
 //! * [`pool`] — a std-only scoped thread pool (`par_map`/`par_chunks`)
 //!   used by the parallel build and the concurrent query benchmarks,
-//!   plus [`pool::spawn_join`] for panic-isolated one-off threads.
+//!   plus [`pool::spawn_join`] for panic-isolated one-off threads. Its
+//!   task queue is a backend-generic kernel ([`pool::TaskQueue`]) so the
+//!   shutdown/drain logic is model-checkable.
 //! * [`sync`] — rank-ordered lock wrappers ([`sync::OrderedMutex`],
 //!   [`sync::OrderedRwLock`]) that enforce the declared engine lock
 //!   order at runtime under `debug_assertions` and absorb poisoning;
-//!   the runtime half of the `gb_lint` `lock-order` rule.
+//!   the runtime half of the `gb_lint` `lock-order` rule. The
+//!   [`sync::backend`] submodule defines the swappable-primitive facade
+//!   (`Backend`) that lets `gb_check` run the same kernel code under a
+//!   deterministic interleaving scheduler.
+//! * [`stats`] — relaxed event counters ([`stats::Counter`]), the one
+//!   blessed home for `Ordering::Relaxed` (see the `gb_lint`
+//!   `atomic-ordering` rule).
 
 pub mod fmt;
 pub mod fxhash;
 pub mod pool;
 pub mod rng;
+pub mod stats;
 pub mod sync;
 pub mod timer;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{default_threads, spawn_join, Pool};
+pub use stats::Counter;
 pub use sync::{OrderedMutex, OrderedRwLock};
 pub use timer::Timer;

@@ -16,8 +16,115 @@
 //! for small inputs and the reference semantics the parallel paths are
 //! tested against.
 
-use std::sync::mpsc;
+use crate::sync::backend::{Backend, MutexApi, StdBackend};
+use std::collections::VecDeque;
 use std::sync::Mutex;
+
+/// Outcome of one [`TaskQueue::pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pop {
+    /// A task index to run.
+    Task(usize),
+    /// Nothing queued right now, but producers may still push: retry
+    /// (politely — see [`TaskQueue::drain`]).
+    Empty,
+    /// The queue is closed and fully drained: no task will ever appear.
+    Closed,
+}
+
+/// The pool's work-distribution kernel: a closeable FIFO of task
+/// indices, generic over the sync [`Backend`] so `gb_check` can explore
+/// its interleavings (the production [`Pool`] instantiates it with
+/// [`StdBackend`]).
+///
+/// Shutdown contract — the invariant the model checker proves:
+///
+/// * every task pushed before [`TaskQueue::close`] is handed out by
+///   [`TaskQueue::pop`] **exactly once**, regardless of how pushes,
+///   closes, and pops interleave;
+/// * a push after close is *rejected* (returns `false`), never silently
+///   dropped;
+/// * after close, every worker draining the queue terminates
+///   ([`Pop::Closed`] once the backlog is gone).
+pub struct TaskQueue<B: Backend = StdBackend> {
+    queue: B::Mutex<QueueState>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    tasks: VecDeque<usize>,
+    closed: bool,
+}
+
+impl<B: Backend> TaskQueue<B> {
+    /// An open, empty queue.
+    pub fn new() -> TaskQueue<B> {
+        TaskQueue {
+            queue: B::Mutex::new(
+                "queue",
+                RANK_QUEUE,
+                QueueState {
+                    tasks: VecDeque::new(),
+                    closed: false,
+                },
+            ),
+        }
+    }
+
+    /// Enqueue `task`. Returns `false` (and enqueues nothing) if the
+    /// queue is already closed.
+    pub fn push(&self, task: usize) -> bool {
+        let mut q = self.queue.lock();
+        if q.closed {
+            return false;
+        }
+        q.tasks.push_back(task);
+        true
+    }
+
+    /// Close the queue: no further pushes are accepted; already-queued
+    /// tasks remain poppable until drained.
+    pub fn close(&self) {
+        self.queue.lock().closed = true;
+    }
+
+    /// Take the next task, if any.
+    pub fn pop(&self) -> Pop {
+        let mut q = self.queue.lock();
+        match q.tasks.pop_front() {
+            Some(task) => Pop::Task(task),
+            None if q.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+
+    /// Worker loop: run `f` on every task handed out until the queue
+    /// closes and drains. [`Pop::Empty`] yields (a scheduling point
+    /// under the model checker) and retries, so a worker that outpaces
+    /// the producer spins politely instead of exiting early and dropping
+    /// the tasks queued after its last look.
+    pub fn drain(&self, mut f: impl FnMut(usize)) {
+        loop {
+            match self.pop() {
+                Pop::Task(i) => f(i),
+                Pop::Empty => B::yield_now(),
+                Pop::Closed => break,
+            }
+        }
+    }
+}
+
+impl<B: Backend> Default for TaskQueue<B> {
+    fn default() -> Self {
+        TaskQueue::new()
+    }
+}
+
+/// Rank of the pool task queue in the declared lock order: above every
+/// engine lock (`rebuild_guard`=0 < `shards`=1 < `state`=2), because a
+/// caller may submit work while holding engine locks but queue-holding
+/// code never re-enters the engine.
+const RANK_QUEUE: u8 = 3;
 
 /// Number of worker threads to use by default: the `GB_THREADS` environment
 /// variable if set (≥ 1), otherwise [`std::thread::available_parallelism`].
@@ -91,14 +198,15 @@ impl Pool {
             return (0..n_tasks).map(f).collect();
         }
 
-        // Channel-backed task queue: pre-filled with every index, workers
-        // take the receiver lock only to pop the next task id.
-        let (tx, rx) = mpsc::channel::<usize>();
+        // The model-checked task-queue kernel, pre-filled with every
+        // index and closed before the workers start: pops never block
+        // and never spin, each worker exits on `Closed` once the backlog
+        // is drained.
+        let queue = TaskQueue::<StdBackend>::new();
         for i in 0..n_tasks {
-            tx.send(i).expect("queue send");
+            queue.push(i);
         }
-        drop(tx);
-        let queue = Mutex::new(rx);
+        queue.close();
 
         let workers = self.threads.min(n_tasks);
         let mut out: Vec<Option<R>> = Vec::with_capacity(n_tasks);
@@ -107,14 +215,11 @@ impl Pool {
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let task = {
-                        let rx = queue.lock().expect("queue lock");
-                        rx.recv()
-                    };
-                    let Ok(i) = task else { break };
-                    let r = f(i);
-                    slots.lock().expect("slot lock")[i] = Some(r);
+                scope.spawn(|| {
+                    queue.drain(|i| {
+                        let r = f(i);
+                        slots.lock().expect("slot lock")[i] = Some(r);
+                    });
                 });
             }
         });
@@ -219,6 +324,36 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn task_queue_fifo_and_close_semantics() {
+        let q = TaskQueue::<StdBackend>::new();
+        assert_eq!(q.pop(), Pop::Empty, "open and empty: retryable");
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert!(!q.push(3), "push after close is rejected");
+        assert_eq!(q.pop(), Pop::Task(1));
+        assert_eq!(q.pop(), Pop::Task(2));
+        assert_eq!(q.pop(), Pop::Closed);
+        assert_eq!(q.pop(), Pop::Closed, "closed stays closed");
+    }
+
+    #[test]
+    fn task_queue_drain_runs_backlog_exactly_once() {
+        let q = TaskQueue::<StdBackend>::default();
+        for i in 0..50 {
+            q.push(i);
+        }
+        q.close();
+        let seen = Mutex::new(vec![0u32; 50]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| q.drain(|i| seen.lock().expect("seen")[i] += 1));
+            }
+        });
+        assert!(seen.lock().expect("seen").iter().all(|&n| n == 1));
     }
 
     #[test]

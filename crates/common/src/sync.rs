@@ -18,6 +18,8 @@
 //! directly. `is_poisoned` still reports the flag for tests that
 //! exercise the poisoned paths.
 
+pub mod backend;
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -72,12 +72,6 @@ impl<T> QueryResponse<T> {
             epoch,
         }
     }
-
-    /// The legacy tuple shape `(result, stats)` — for the deprecated
-    /// shim methods kept while call sites migrate.
-    pub fn into_tuple(self) -> (T, QueryStats) {
-        (self.result, self.stats)
-    }
 }
 
 /// The reply to a [`QueryRequest`], one variant per request kind.

@@ -9,12 +9,14 @@
 //!
 //! * **Epoch-swapped engine state** — the block, the [`AggregateTrie`],
 //!   and the **data epoch** live together in one immutable
-//!   `EngineState` behind `RwLock<Arc<EngineState>>`. A query clones
+//!   `EngineState` published through a [`PublishKernel`]. A query clones
 //!   the `Arc` (read lock held for nanoseconds) and works on a fully
 //!   consistent `(block, trie, epoch)` triple for its whole run — a
 //!   concurrent update can never show it a half-new world. Updates and
 //!   cache rebuilds construct the next state entirely *outside* the
-//!   lock, then write-lock only to swap the pointer.
+//!   lock, then write-lock only to swap the pointer. The kernel is
+//!   extracted into [`crate::kernel`] so `gb_check` model-checks these
+//!   exact interleavings over bounded schedules.
 //! * **Sharded hit statistics** — the §3.6 per-cell hit counters are
 //!   split across [`N_SHARDS`] small mutex-guarded maps keyed by a hash
 //!   of the cell id, so concurrent queries rarely contend on the same
@@ -32,19 +34,19 @@
 //! [`QueryRequest`]/[`QueryReply`] values from [`crate::api`]; the typed
 //! convenience methods ([`GeoBlockEngine::select`] /
 //! [`GeoBlockEngine::count`]) return [`QueryResponse`] values carrying
-//! the same epoch. The pre-redesign tuple shapes survive as deprecated
-//! shims ([`GeoBlockEngine::select_tuple`] and friends).
+//! the same epoch.
 
 use crate::aggregate::AggResult;
 use crate::api::{GbError, QueryReply, QueryRequest, QueryResponse};
 use crate::block::GeoBlock;
+use crate::kernel::PublishKernel;
 use crate::qc::{self, CacheMetrics, RebuildPolicy};
 use crate::query::QueryStats;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::trie::AggregateTrie;
 use crate::update::{UpdateBatch, UpdateReport};
-use gb_common::sync::{OrderedMutex, OrderedRwLock};
-use gb_common::FxHashMap;
+use gb_common::sync::OrderedMutex;
+use gb_common::{Counter, FxHashMap};
 use gb_data::{AggSpec, DataError, Filter};
 use gb_geom::Polygon;
 use std::path::{Path, PathBuf};
@@ -56,16 +58,13 @@ use std::sync::Arc;
 /// snapshotting all shards during a rebuild stays cheap.
 pub const N_SHARDS: usize = 16;
 
-/// The declared engine lock order (see `DESIGN.md` "Static analysis &
-/// invariants"): a lock may only be acquired while holding locks of
-/// strictly lower rank. `gb_lint`'s `lock-order` rule checks this
-/// statically; the [`OrderedMutex`]/[`OrderedRwLock`] wrappers check it
-/// on every acquisition under `debug_assertions`.
-const RANK_REBUILD_GUARD: u8 = 0;
-/// Rank of each hit-statistic shard (at most one shard held at a time).
+/// Rank of each hit-statistic shard in the declared engine lock order
+/// (see `DESIGN.md` "Static analysis & invariants"): between the
+/// kernel's publisher mutex (0) and state slot (2), so a publisher may
+/// snapshot shards mid-transition. `gb_lint`'s `lock-order` rule checks
+/// the order statically; the [`OrderedMutex`] wrapper checks it on
+/// every acquisition under `debug_assertions`.
 const RANK_SHARD: u8 = 1;
-/// Rank of the state pointer (always last, held only for the swap/clone).
-const RANK_STATE: u8 = 2;
 
 /// Pick the shard for a raw cell id (Fibonacci multiplicative hash — cell
 /// ids are structured bit patterns, so raw modulo would cluster).
@@ -90,23 +89,22 @@ struct EngineState {
 /// All methods take `&self`; the engine is designed to be shared as
 /// `Arc<GeoBlockEngine>` (or borrowed across `std::thread::scope`).
 pub struct GeoBlockEngine {
-    state: OrderedRwLock<Arc<EngineState>>,
+    /// The epoch-swap publication kernel: serialized read-modify-publish
+    /// transitions (update commits and cache rebuilds), wait-free-ish
+    /// snapshots for queries. Model-checked in `gb_check`.
+    state: PublishKernel<EngineState>,
     shards: Vec<OrderedMutex<FxHashMap<u64, u64>>>,
     threshold: f64,
     policy: RebuildPolicy,
-    /// Serializes state transitions (cache rebuilds and update commits)
-    /// so concurrent triggers don't duplicate the expensive offline
-    /// construction. Never held while answering queries.
-    rebuild_guard: OrderedMutex<()>,
     cache_epoch: AtomicU64,
     /// Monotonic query counter for the `EveryN` policy: `fetch_add`
     /// returns each value exactly once, so exactly one thread observes
     /// each multiple of `n` and becomes that boundary's rebuilder — no
     /// reset, no double-rebuild race.
     query_counter: AtomicUsize,
-    probes: AtomicU64,
-    direct_hits: AtomicU64,
-    child_hits: AtomicU64,
+    probes: Counter,
+    direct_hits: Counter,
+    child_hits: Counter,
 }
 
 impl GeoBlockEngine {
@@ -130,26 +128,21 @@ impl GeoBlockEngine {
         let n_cols = block.schema().len();
         let trie = Arc::new(AggregateTrie::new(root_cell, n_cols));
         GeoBlockEngine {
-            state: OrderedRwLock::new(
-                "state",
-                RANK_STATE,
-                Arc::new(EngineState {
-                    block,
-                    trie,
-                    data_epoch: 0,
-                }),
-            ),
+            state: PublishKernel::new(EngineState {
+                block,
+                trie,
+                data_epoch: 0,
+            }),
             shards: (0..N_SHARDS)
                 .map(|_| OrderedMutex::new("shard", RANK_SHARD, FxHashMap::default()))
                 .collect(),
             threshold,
             policy: RebuildPolicy::Manual,
-            rebuild_guard: OrderedMutex::new("rebuild_guard", RANK_REBUILD_GUARD, ()),
             cache_epoch: AtomicU64::new(0),
             query_counter: AtomicUsize::new(0),
-            probes: AtomicU64::new(0),
-            direct_hits: AtomicU64::new(0),
-            child_hits: AtomicU64::new(0),
+            probes: Counter::new(),
+            direct_hits: Counter::new(),
+            child_hits: Counter::new(),
         }
     }
 
@@ -163,7 +156,7 @@ impl GeoBlockEngine {
 
     /// Pin the current state (read lock held only for the `Arc` clone).
     fn state_snapshot(&self) -> Arc<EngineState> {
-        self.state.read().clone()
+        self.state.snapshot()
     }
 
     /// Snapshot of the current block. Updates swap the block out from
@@ -201,17 +194,17 @@ impl GeoBlockEngine {
     /// Accumulated cache metrics across all threads.
     pub fn metrics(&self) -> CacheMetrics {
         CacheMetrics {
-            probes: self.probes.load(Ordering::Relaxed),
-            direct_hits: self.direct_hits.load(Ordering::Relaxed),
-            child_hits: self.child_hits.load(Ordering::Relaxed),
+            probes: self.probes.get(),
+            direct_hits: self.direct_hits.get(),
+            child_hits: self.child_hits.get(),
         }
     }
 
     /// Zero the cache metrics (e.g. between workload phases).
     pub fn reset_metrics(&self) {
-        self.probes.store(0, Ordering::Relaxed);
-        self.direct_hits.store(0, Ordering::Relaxed);
-        self.child_hits.store(0, Ordering::Relaxed);
+        self.probes.reset();
+        self.direct_hits.reset();
+        self.child_hits.reset();
     }
 
     /// The canonical typed entry point: validate `req` against the
@@ -268,11 +261,9 @@ impl GeoBlockEngine {
             },
             &mut metrics,
         );
-        self.probes.fetch_add(metrics.probes, Ordering::Relaxed);
-        self.direct_hits
-            .fetch_add(metrics.direct_hits, Ordering::Relaxed);
-        self.child_hits
-            .fetch_add(metrics.child_hits, Ordering::Relaxed);
+        self.probes.add(metrics.probes);
+        self.direct_hits.add(metrics.direct_hits);
+        self.child_hits.add(metrics.child_hits);
 
         if let RebuildPolicy::EveryN(n) = self.policy {
             let q = self.query_counter.fetch_add(1, Ordering::AcqRel) + 1;
@@ -281,18 +272,6 @@ impl GeoBlockEngine {
             }
         }
         QueryResponse::new(result, stats, state.data_epoch)
-    }
-
-    /// Pre-redesign shape of [`GeoBlockEngine::select`].
-    #[deprecated(note = "use `select`, which returns a `QueryResponse` carrying the epoch")]
-    pub fn select_tuple(&self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
-        self.select(polygon, spec).into_tuple()
-    }
-
-    /// Pre-redesign shape of [`GeoBlockEngine::count`].
-    #[deprecated(note = "use `count`, which returns a `QueryResponse` carrying the epoch")]
-    pub fn count_tuple(&self, polygon: &Polygon) -> (u64, QueryStats) {
-        self.count(polygon).into_tuple()
     }
 
     /// Commit a batch of new tuples (§5) and advance the data epoch.
@@ -317,21 +296,25 @@ impl GeoBlockEngine {
                 )));
             }
         }
-        // Serialize with rebuilds and other updates; queries proceed.
-        let _serialize = self.rebuild_guard.lock();
-        let cur = self.state_snapshot();
-        let mut block = (*cur.block).clone();
-        let report = block.apply_updates(batch);
-        let mut trie = (*cur.trie).clone();
-        for (loc, values) in &batch.rows {
-            let leaf = block.grid().leaf_for_point(*loc);
-            trie.update_along_path(leaf, values);
-        }
-        let epoch = cur.data_epoch + 1;
-        *self.state.write() = Arc::new(EngineState {
-            block: Arc::new(block),
-            trie: Arc::new(trie),
-            data_epoch: epoch,
+        // One kernel transaction: serialized with rebuilds and other
+        // updates by the publisher mutex; queries proceed throughout.
+        let (report, epoch) = self.state.publish(|cur| {
+            let mut block = (*cur.block).clone();
+            let report = block.apply_updates(batch);
+            let mut trie = (*cur.trie).clone();
+            for (loc, values) in &batch.rows {
+                let leaf = block.grid().leaf_for_point(*loc);
+                trie.update_along_path(leaf, values);
+            }
+            let epoch = cur.data_epoch + 1;
+            (
+                EngineState {
+                    block: Arc::new(block),
+                    trie: Arc::new(trie),
+                    data_epoch: epoch,
+                },
+                (report, epoch),
+            )
         });
         Ok(QueryResponse::new(report, QueryStats::default(), epoch))
     }
@@ -369,11 +352,15 @@ impl GeoBlockEngine {
     pub fn from_snapshot_state(snap: Snapshot, threshold: f64) -> Self {
         let engine = GeoBlockEngine::from_arc(Arc::new(snap.block), threshold);
         if let Some(trie) = snap.trie {
-            let cur = engine.state_snapshot();
-            *engine.state.write() = Arc::new(EngineState {
-                block: cur.block.clone(),
-                trie: Arc::new(trie),
-                data_epoch: cur.data_epoch,
+            engine.state.publish(|cur| {
+                (
+                    EngineState {
+                        block: cur.block.clone(),
+                        trie: Arc::new(trie),
+                        data_epoch: cur.data_epoch,
+                    },
+                    (),
+                )
             });
         }
         if let Some(hits) = snap.hits {
@@ -408,22 +395,27 @@ impl GeoBlockEngine {
     /// Concurrent callers are serialized; concurrent readers never wait on
     /// the construction, only (at worst) on the nanosecond-scale swap.
     pub fn rebuild_cache(&self) {
-        // Lock order: rebuild_guard (0) is taken first and held across
-        // the shard (1) and state (2) acquisitions below. Holding it also
-        // pins the data epoch: updates serialize on the same guard, so
-        // the state read below cannot go stale before the swap.
-        let _serialize = self.rebuild_guard.lock();
-        let hits = self.snapshot_hits();
-        let cur = self.state_snapshot();
-        let budget =
-            (self.threshold * (cur.block.num_cells() * cur.block.record_bytes()) as f64) as usize;
-        // Expensive part: no lock held.
-        let fresh = qc::rebuild_trie(&cur.block, cur.trie.root_cell(), budget, &hits);
-        // Cheap part: swap the state pointer (same block, same epoch).
-        *self.state.write() = Arc::new(EngineState {
-            block: cur.block.clone(),
-            trie: Arc::new(fresh),
-            data_epoch: cur.data_epoch,
+        // Lock order inside the kernel transaction: the publisher mutex
+        // (0) is held across the shard (1) and state (2) acquisitions
+        // below. Holding it also pins the data epoch: updates serialize
+        // on the same mutex, so the state the builder sees cannot go
+        // stale before the swap.
+        self.state.publish(|cur| {
+            let hits = self.snapshot_hits();
+            let budget = (self.threshold
+                * (cur.block.num_cells() * cur.block.record_bytes()) as f64)
+                as usize;
+            // Expensive part: no slot lock held.
+            let fresh = qc::rebuild_trie(&cur.block, cur.trie.root_cell(), budget, &hits);
+            // Same block, same data epoch: rebuilds never change answers.
+            (
+                EngineState {
+                    block: cur.block.clone(),
+                    trie: Arc::new(fresh),
+                    data_epoch: cur.data_epoch,
+                },
+                (),
+            )
         });
         self.cache_epoch.fetch_add(1, Ordering::AcqRel);
     }
@@ -769,21 +761,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_tuple_shims_match_typed_methods() {
-        let base = base_data(1500);
-        let (block, _) = build(&base, 7, &Filter::all());
-        let engine = GeoBlockEngine::new(block, 0.2);
-        let hot = diamond(40.0, 40.0, 12.0);
-        let (sel, stats) = engine.select_tuple(&hot, &spec());
-        let typed = engine.select(&hot, &spec());
-        assert!(sel.approx_eq(&typed.result, 0.0));
-        assert_eq!(stats, typed.stats);
-        let (cnt, _) = engine.count_tuple(&hot);
-        assert_eq!(cnt, engine.count(&hot).result);
-    }
-
-    #[test]
     fn builder_consolidates_the_constructors() {
         let base = base_data(2000);
         let (block, _) = build(&base, 7, &Filter::all());
@@ -854,14 +831,14 @@ mod tests {
         {
             let e = Arc::clone(&engine);
             let _ = gb_common::spawn_join(move || {
-                let _guard = e.rebuild_guard.lock();
+                let _guard = e.state.publish_guard().lock();
                 panic!("deliberate guard poison");
             });
         }
         {
             let e = Arc::clone(&engine);
             let _ = gb_common::spawn_join(move || {
-                let _guard = e.state.write();
+                let _guard = e.state.state_slot().write();
                 panic!("deliberate state poison");
             });
         }

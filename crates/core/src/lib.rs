@@ -57,6 +57,7 @@ pub mod block;
 pub mod build;
 pub mod engine;
 pub mod indexed;
+pub mod kernel;
 pub mod pyramid;
 pub mod qc;
 pub mod query;
@@ -70,6 +71,7 @@ pub use block::GeoBlock;
 pub use build::{build, build_parallel, build_with_rows, BuildStats};
 pub use engine::GeoBlockEngine;
 pub use indexed::IndexedBlock;
+pub use kernel::PublishKernel;
 pub use pyramid::AggPyramid;
 pub use qc::{CacheMetrics, GeoBlockQC, RebuildPolicy};
 pub use query::QueryStats;

@@ -407,18 +407,6 @@ impl GeoBlockQC {
         QueryResponse::new(result, stats, self.epoch)
     }
 
-    /// Pre-redesign shape of [`GeoBlockQC::select`].
-    #[deprecated(note = "use `select`, which returns a `QueryResponse` carrying the epoch")]
-    pub fn select_tuple(&mut self, polygon: &Polygon, spec: &AggSpec) -> (AggResult, QueryStats) {
-        self.select(polygon, spec).into_tuple()
-    }
-
-    /// Pre-redesign shape of [`GeoBlockQC::count`].
-    #[deprecated(note = "use `count`, which returns a `QueryResponse` carrying the epoch")]
-    pub fn count_tuple(&self, polygon: &Polygon) -> (u64, QueryStats) {
-        self.count(polygon).into_tuple()
-    }
-
     /// Persist the block and the current cache state (trie + hit
     /// statistics) — the single-threaded counterpart of
     /// [`crate::GeoBlockEngine::write_snapshot`].

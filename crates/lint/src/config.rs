@@ -22,6 +22,9 @@ pub struct Config {
     /// Files allowed to call `thread::spawn` (the pool is the only
     /// sanctioned thread source).
     pub spawn_blessed: Vec<String>,
+    /// Files whose `Ordering::Relaxed` is the point (the stats-counter
+    /// module); `atomic-ordering` fires everywhere else.
+    pub relaxed_blessed: Vec<String>,
     /// Files where `lossy-cast` applies (length/offset decoding).
     pub cast_checked: Vec<String>,
     /// The declared engine lock order: a lock may only be acquired while
@@ -44,17 +47,27 @@ impl Config {
                 "crates/core/src/trie.rs",
             ]),
             float_blessed: s(&["crates/core/src/pyramid.rs", "crates/core/src/aggregate.rs"]),
-            spawn_blessed: s(&["crates/common/src/pool.rs"]),
+            // `gb_check` wraps every model thread in a real OS thread it
+            // fully schedules; it is the second sanctioned thread source.
+            spawn_blessed: s(&["crates/common/src/pool.rs", "crates/check/src/"]),
             cast_checked: s(&["crates/store/src/lib.rs", "crates/core/src/snapshot.rs"]),
-            // The GeoBlockEngine order: rebuild-guard, then hit-statistic
-            // shards, then the state pointer (block + trie + data epoch).
-            // `shard` is the conventional loop-variable name for one
-            // element of `shards`.
+            relaxed_blessed: s(&["crates/common/src/stats.rs"]),
+            // The workspace lock order: publisher guards first, then
+            // hit-statistic shards, then the state pointer (block + trie
+            // + data epoch), then the pool queue, then the serve-layer
+            // leaf locks (result-cache entries, quota buckets). `shard`
+            // is the conventional loop-variable name for one element of
+            // `shards`. The same table is enforced at runtime by
+            // `gb_common::sync` and at model time by `gb_check`.
             lock_ranks: vec![
                 ("rebuild_guard".to_string(), 0),
+                ("publish_guard".to_string(), 0),
                 ("shards".to_string(), 1),
                 ("shard".to_string(), 1),
                 ("state".to_string(), 2),
+                ("queue".to_string(), 3),
+                ("entries".to_string(), 4),
+                ("buckets".to_string(), 4),
             ],
         }
     }
@@ -77,6 +90,11 @@ impl Config {
     /// Does `path` get the narrowing-cast rule?
     pub fn is_cast_checked(&self, path: &str) -> bool {
         Self::listed(&self.cast_checked, path)
+    }
+
+    /// May `path` use `Ordering::Relaxed` without justification?
+    pub fn is_relaxed_blessed(&self, path: &str) -> bool {
+        Self::listed(&self.relaxed_blessed, path)
     }
 
     /// Rank of a lock receiver name, if it is a declared engine lock.
@@ -113,8 +131,24 @@ mod tests {
         let cfg = Config::workspace();
         assert!(cfg.lock_rank("rebuild_guard") < cfg.lock_rank("shards"));
         assert!(cfg.lock_rank("shards") < cfg.lock_rank("state"));
+        assert!(cfg.lock_rank("state") < cfg.lock_rank("queue"));
+        assert!(cfg.lock_rank("queue") < cfg.lock_rank("entries"));
         assert_eq!(cfg.lock_rank("shard"), cfg.lock_rank("shards"));
+        assert_eq!(
+            cfg.lock_rank("publish_guard"),
+            cfg.lock_rank("rebuild_guard")
+        );
+        assert_eq!(cfg.lock_rank("entries"), cfg.lock_rank("buckets"));
         assert_eq!(cfg.lock_rank("trie"), None);
-        assert_eq!(cfg.lock_rank("queue"), None);
+    }
+
+    #[test]
+    fn relaxed_and_spawn_blessings_are_scoped() {
+        let cfg = Config::workspace();
+        assert!(cfg.is_relaxed_blessed("crates/common/src/stats.rs"));
+        assert!(!cfg.is_relaxed_blessed("crates/common/src/pool.rs"));
+        assert!(!cfg.is_relaxed_blessed("crates/serve/src/metrics.rs"));
+        assert!(cfg.is_spawn_blessed("crates/check/src/thread_api.rs"));
+        assert!(!cfg.is_spawn_blessed("crates/check/tests/kernels.rs"));
     }
 }

@@ -63,6 +63,14 @@ pub const RULES: &[RuleInfo] = &[
                       offset decoding files — use try_from or the checked writer helpers",
         check: lossy_cast,
     },
+    RuleInfo {
+        name: "atomic-ordering",
+        description: "no bare `Ordering::Relaxed` outside the stats-counter module — \
+                      route statistics through gb_common::stats::Counter, spell out \
+                      Acquire/Release/SeqCst for synchronization, or justify with an \
+                      allow comment; test code exempt",
+        check: atomic_ordering,
+    },
 ];
 
 /// True if `c` can be part of an identifier.
@@ -309,7 +317,8 @@ fn lock_order(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
                                 format!(
                                     "lock `{name}` (rank {rank}) acquired while holding \
                                      `{held_name}` (rank {held_rank}); declared order is \
-                                     rebuild_guard < shards < trie"
+                                     rebuild_guard/publish_guard < shards < state < queue \
+                                     < entries/buckets"
                                 ),
                             ));
                         }
@@ -395,6 +404,44 @@ fn lossy_cast(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
                     ),
                 ));
             }
+        }
+    }
+    out
+}
+
+/// `atomic-ordering`: `Ordering::Relaxed` provides no synchronization,
+/// so every use is either a statistics counter (which belongs in
+/// `gb_common::stats::Counter`, the one blessed file) or a subtle
+/// correctness claim that must be argued in an allow comment where
+/// reviewers can see it. Matches the bare word `Relaxed` too, so a
+/// `use Ordering::Relaxed` import offers no cover. Test regions are
+/// exempt.
+fn atomic_ordering(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    const RULE: &str = "atomic-ordering";
+    if cfg.is_relaxed_blessed(&file.path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.test || file.allowed(idx, RULE) {
+            continue;
+        }
+        let m = line.masked.as_str();
+        for at in occurrences(m, "Relaxed") {
+            let before = m[..at].chars().next_back();
+            let after = m[at + "Relaxed".len()..].chars().next();
+            if before.is_some_and(is_ident) || after.is_some_and(is_ident) {
+                continue; // part of a longer identifier
+            }
+            out.push(finding(
+                RULE,
+                file,
+                idx,
+                "`Ordering::Relaxed` outside the blessed stats module: use \
+                 `gb_common::stats::Counter` for event tallies, an explicit \
+                 Acquire/Release/SeqCst for synchronization, or add \
+                 `gb-lint: allow(atomic-ordering) -- <why relaxed is correct>`",
+            ));
         }
     }
     out
@@ -585,8 +632,33 @@ mod tests {
 
     #[test]
     fn lock_order_unknown_receivers_ignored() {
-        let src = "fn ok() { let q = queue.lock(); let s = slots.lock(); }";
+        let src = "fn ok() { let q = slots.lock(); let s = widgets.lock(); }";
         assert!(rules_on("crates/common/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_covers_pool_and_serve_ranks() {
+        // Engine-lock-then-queue is the declared direction...
+        let src = "fn ok(&self) {\n\
+                     let s = self.state.read();\n\
+                     let q = self.queue.lock();\n\
+                   }";
+        assert!(rules_on("crates/common/src/pool.rs", src).is_empty());
+        // ...queue-then-engine-lock is an inversion.
+        let src = "fn bad(&self) {\n\
+                     let q = self.queue.lock();\n\
+                     let s = self.state.read();\n\
+                   }";
+        let f = rules_on("crates/common/src/pool.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`queue`"));
+        // Serve-layer leaves are terminal: nothing may follow them.
+        let src = "fn bad(&self) {\n\
+                     let e = self.entries.lock();\n\
+                     let b = self.buckets.lock();\n\
+                   }";
+        let f = rules_on("crates/serve/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
     }
 
     // ---- lossy-cast ----
@@ -609,6 +681,42 @@ mod tests {
         assert!(rules_on("crates/core/src/block.rs", "let n = len as u32;").is_empty());
         let src = "#[cfg(test)]\nmod tests {\n fn t() { let n = len as u8; }\n}";
         assert!(rules_on("crates/store/src/lib.rs", src).is_empty());
+    }
+
+    // ---- atomic-ordering ----
+
+    #[test]
+    fn atomic_ordering_fires_on_bare_relaxed() {
+        let f = rules_on(
+            "crates/serve/src/metrics.rs",
+            "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "atomic-ordering");
+        // An imported bare `Relaxed` offers no cover.
+        let f = rules_on(
+            "crates/core/src/engine.rs",
+            "fn bump(c: &AtomicU64) { c.fetch_add(1, Relaxed); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_blessed_file_tests_and_allows_pass() {
+        let src = "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        assert!(rules_on("crates/common/src/stats.rs", src).is_empty());
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n {src}\n}}");
+        assert!(rules_on("crates/serve/src/metrics.rs", &in_tests).is_empty());
+        let allowed = "// gb-lint: allow(atomic-ordering) -- seqlock stamp, pure tally\n\
+                       fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        assert!(rules_on("crates/serve/src/metrics.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_stronger_orderings_and_longer_idents_pass() {
+        let src = "fn s(c: &AtomicU64) { c.store(1, Ordering::Release); }\n\
+                   struct RelaxedFit; fn f(x: UnRelaxed) {}";
+        assert!(rules_on("crates/serve/src/metrics.rs", src).is_empty());
     }
 
     // ---- masking interplay ----

@@ -65,6 +65,10 @@ fn seed_all(ws: &MiniWorkspace) {
         "pub fn go() {\n    std::thread::spawn(|| {});\n}\n",
     );
     ws.file(
+        "crates/serve/src/metrics.rs",
+        "pub fn bump(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+    );
+    ws.file(
         "crates/core/src/engine.rs",
         concat!(
             "impl Engine {\n",
@@ -86,6 +90,7 @@ fn every_rule_catches_its_seeded_violation() {
     assert_eq!(
         rules_fired(&report),
         vec![
+            "atomic-ordering",
             "float-fold",
             "lock-order",
             "lossy-cast",
@@ -97,7 +102,7 @@ fn every_rule_catches_its_seeded_violation() {
     );
     // The store file seeds both a cast and an unwrap; everything else
     // seeds exactly one finding.
-    assert_eq!(report.fresh.len(), 5, "{:#?}", report.fresh);
+    assert_eq!(report.fresh.len(), 6, "{:#?}", report.fresh);
 }
 
 #[test]
@@ -113,6 +118,12 @@ fn allow_directives_silence_each_seed() {
         "crates/core/src/worker.rs",
         "pub fn go() {\n    // gb-lint: allow(rogue-spawn) -- test\n    \
          std::thread::spawn(|| {});\n}\n",
+    );
+    ws.file(
+        "crates/serve/src/metrics.rs",
+        "pub fn bump(c: &AtomicU64) {\n    \
+         // gb-lint: allow(atomic-ordering) -- test\n    \
+         c.fetch_add(1, Ordering::Relaxed);\n}\n",
     );
     let report = ws.run(None);
     assert!(report.fresh.is_empty(), "{:#?}", report.fresh);
@@ -144,13 +155,13 @@ fn baseline_absorbs_known_findings_and_flags_new_ones() {
     let ws = MiniWorkspace::new("baseline");
     seed_all(&ws);
     let first = ws.run(None);
-    assert_eq!(first.fresh.len(), 5);
+    assert_eq!(first.fresh.len(), 6);
 
     // Baseline everything: the gate goes green.
     let baseline = Baseline::parse(&Baseline::render(&first.fresh)).expect("roundtrip");
     let absorbed = ws.run(Some(&baseline));
     assert!(absorbed.fresh.is_empty(), "{:#?}", absorbed.fresh);
-    assert_eq!(absorbed.grandfathered.len(), 5);
+    assert_eq!(absorbed.grandfathered.len(), 6);
 
     // A brand-new violation is still fresh against that baseline.
     ws.file(
@@ -160,7 +171,7 @@ fn baseline_absorbs_known_findings_and_flags_new_ones() {
     let with_new = ws.run(Some(&baseline));
     assert_eq!(with_new.fresh.len(), 1, "{:#?}", with_new.fresh);
     assert_eq!(with_new.fresh[0].rule, "panic-path");
-    assert_eq!(with_new.grandfathered.len(), 5);
+    assert_eq!(with_new.grandfathered.len(), 6);
 
     // Editing a baselined line resurrects its finding.
     ws.file(

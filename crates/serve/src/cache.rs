@@ -15,21 +15,43 @@
 //! instant an update commits, every cached reply is unservable — there
 //! is no window where a stale answer and the new epoch coexist. The TTL
 //! is a second, time-based bound so an idle server eventually drops
-//! entries even with no updates; capacity is bounded by random-ish
-//! eviction (oldest insertion) to keep the implementation std-only.
+//! entries even with no updates; capacity is bounded by oldest-insertion
+//! eviction to keep the implementation std-only.
+//!
+//! The cache is generic over the sync [`Backend`] and takes time as an
+//! explicit microsecond tick (`*_at` methods), so `gb_check` can explore
+//! its interleavings deterministically: under the model checker every
+//! get/insert/purge runs at a schedule-chosen point with a
+//! schedule-chosen clock, and the "never serve a reply from another
+//! epoch" invariant is exhaustively checked against a cache-less shadow.
+//! Production code uses the tick-free wrappers ([`ResultCache::get`] and
+//! friends), which derive the tick from a monotonic anchor.
 
-use gb_common::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use gb_common::sync::backend::{Backend, MutexApi, StdBackend};
+use gb_common::{Counter, FxHashMap};
 use std::time::{Duration, Instant};
 
+/// Rank of the cache map in the declared lock order: a serve-layer leaf
+/// lock, never held while any engine or pool lock is taken.
+const RANK_ENTRIES: u8 = 4;
+
 /// One cached reply: the encoded wire bytes, the data epoch they answer
-/// for, and when they were inserted (for the TTL bound).
+/// for, the tick they were inserted at (for the TTL bound), and a
+/// monotonic sequence number (for oldest-first eviction — deterministic
+/// even when two inserts share a tick).
 #[derive(Debug, Clone)]
 struct Entry {
     reply: Vec<u8>,
     epoch: u64,
-    inserted: Instant,
+    inserted_us: u64,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    entries: FxHashMap<u64, Entry>,
+    /// Next insertion sequence number.
+    seq: u64,
 }
 
 /// Hit/miss counters, readable without the map lock.
@@ -54,94 +76,138 @@ impl CacheStats {
 }
 
 /// The server-side result cache. All methods take `&self`; the map is
-/// behind one plain mutex (lookups copy small reply buffers out, so the
-/// critical section is tiny), the counters are atomics.
+/// behind one mutex (lookups copy small reply buffers out, so the
+/// critical section is tiny), the counters are relaxed [`Counter`]s.
 #[derive(Debug)]
-pub struct ResultCache {
-    entries: Mutex<FxHashMap<u64, Entry>>,
+pub struct ResultCache<B: Backend = StdBackend> {
+    entries: B::Mutex<CacheState>,
     capacity: usize,
-    ttl: Duration,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    ttl_us: u64,
+    /// Monotonic anchor for the tick-free production wrappers.
+    anchor: Instant,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
 }
 
-impl ResultCache {
+impl<B: Backend> ResultCache<B> {
     /// A cache holding at most `capacity` replies, each valid for `ttl`
     /// (and only while the engine stays on the entry's data epoch).
-    pub fn new(capacity: usize, ttl: Duration) -> ResultCache {
+    pub fn new(capacity: usize, ttl: Duration) -> ResultCache<B> {
         ResultCache {
-            entries: Mutex::new(FxHashMap::default()),
+            entries: B::Mutex::new(
+                "entries",
+                RANK_ENTRIES,
+                CacheState {
+                    entries: FxHashMap::default(),
+                    seq: 0,
+                },
+            ),
             capacity,
-            ttl,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            ttl_us: ttl.as_micros().min(u64::MAX as u128) as u64,
+            anchor: Instant::now(),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 
-    /// Look up the reply for `key`, valid at `current_epoch`. Counts a
-    /// hit or miss; expired/stale entries are removed on the way.
-    pub fn get(&self, key: u64, current_epoch: u64) -> Option<Vec<u8>> {
-        let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
-        let valid = match map.get(&key) {
-            Some(e) => e.epoch == current_epoch && e.inserted.elapsed() <= self.ttl,
+    /// Microseconds since this cache was created — the tick the
+    /// production wrappers feed to the `*_at` kernel methods.
+    fn tick_us(&self) -> u64 {
+        self.anchor.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Look up the reply for `key`, valid at `current_epoch`, as of tick
+    /// `now_us`. Counts a hit or miss; expired/stale entries are removed
+    /// on the way.
+    pub fn get_at(&self, key: u64, current_epoch: u64, now_us: u64) -> Option<Vec<u8>> {
+        let mut state = self.entries.lock();
+        let valid = match state.entries.get(&key) {
+            Some(e) => {
+                e.epoch == current_epoch && now_us.saturating_sub(e.inserted_us) <= self.ttl_us
+            }
             None => false,
         };
         if valid {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            map.get(&key).map(|e| e.reply.clone())
+            self.hits.incr();
+            state.entries.get(&key).map(|e| e.reply.clone())
         } else {
             // Drop the dead entry (wrong epoch or expired) eagerly.
-            map.remove(&key);
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            state.entries.remove(&key);
+            self.misses.incr();
             None
         }
     }
 
-    /// Insert a reply computed at `epoch`. A zero-capacity cache accepts
-    /// nothing; at capacity, the oldest entry is evicted.
-    pub fn insert(&self, key: u64, reply: Vec<u8>, epoch: u64) {
+    /// Insert a reply computed at `epoch`, as of tick `now_us`. A
+    /// zero-capacity cache accepts nothing; at capacity, the
+    /// oldest-inserted entry is evicted.
+    pub fn insert_at(&self, key: u64, reply: Vec<u8>, epoch: u64, now_us: u64) {
         if self.capacity == 0 {
             return;
         }
-        let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            if let Some(oldest) = map.iter().min_by_key(|(_, e)| e.inserted).map(|(&k, _)| k) {
-                map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.entries.lock();
+        if state.entries.len() >= self.capacity && !state.entries.contains_key(&key) {
+            if let Some(oldest) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(&k, _)| k)
+            {
+                state.entries.remove(&oldest);
+                self.evictions.incr();
             }
         }
-        map.insert(
+        let seq = state.seq;
+        state.seq += 1;
+        state.entries.insert(
             key,
             Entry {
                 reply,
                 epoch,
-                inserted: Instant::now(),
+                inserted_us: now_us,
+                seq,
             },
         );
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.incr();
     }
 
-    /// Drop every entry whose epoch differs from `current_epoch` — the
-    /// space-reclamation half of invalidation (correctness never depends
-    /// on it; [`ResultCache::get`] checks the epoch on every lookup).
+    /// Drop every entry that is expired at tick `now_us` or on an epoch
+    /// other than `current_epoch` — the space-reclamation half of
+    /// invalidation (correctness never depends on it;
+    /// [`ResultCache::get_at`] checks the epoch on every lookup).
+    pub fn purge_stale_at(&self, current_epoch: u64, now_us: u64) {
+        let mut state = self.entries.lock();
+        let before = state.entries.len();
+        let ttl_us = self.ttl_us;
+        state.entries.retain(|_, e| {
+            e.epoch == current_epoch && now_us.saturating_sub(e.inserted_us) <= ttl_us
+        });
+        let dropped = before.saturating_sub(state.entries.len());
+        self.evictions.add(dropped as u64);
+    }
+
+    /// [`ResultCache::get_at`] at the current wall-clock tick.
+    pub fn get(&self, key: u64, current_epoch: u64) -> Option<Vec<u8>> {
+        self.get_at(key, current_epoch, self.tick_us())
+    }
+
+    /// [`ResultCache::insert_at`] at the current wall-clock tick.
+    pub fn insert(&self, key: u64, reply: Vec<u8>, epoch: u64) {
+        self.insert_at(key, reply, epoch, self.tick_us());
+    }
+
+    /// [`ResultCache::purge_stale_at`] at the current wall-clock tick.
     pub fn purge_stale(&self, current_epoch: u64) {
-        let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
-        let before = map.len();
-        map.retain(|_, e| e.epoch == current_epoch && e.inserted.elapsed() <= self.ttl);
-        let dropped = before.saturating_sub(map.len());
-        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        self.purge_stale_at(current_epoch, self.tick_us());
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        self.entries.lock().entries.len()
     }
 
     /// Whether the cache is empty.
@@ -152,10 +218,10 @@ impl ResultCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
         }
     }
 }
@@ -189,25 +255,36 @@ mod tests {
 
     #[test]
     fn ttl_expires_entries() {
-        let c = cache(8, 0); // everything expires immediately
-        c.insert(9, vec![5], 3);
-        std::thread::sleep(Duration::from_millis(2));
-        assert_eq!(c.get(9, 3), None);
+        // Deterministic clock: insert at tick 0, look up one past the TTL.
+        let c = cache(8, 1);
+        c.insert_at(9, vec![5], 3, 0);
+        assert_eq!(c.get_at(9, 3, 1_000), Some(vec![5]), "at the TTL edge");
+        assert_eq!(c.get_at(9, 3, 1_001), None, "one tick past the TTL");
     }
 
     #[test]
     fn capacity_evicts_oldest() {
         let c = cache(2, 10_000);
         c.insert(1, vec![1], 0);
-        std::thread::sleep(Duration::from_millis(2));
         c.insert(2, vec![2], 0);
-        std::thread::sleep(Duration::from_millis(2));
-        c.insert(3, vec![3], 0); // evicts key 1
+        c.insert(3, vec![3], 0); // evicts key 1 (lowest insertion seq)
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(1, 0), None);
         assert_eq!(c.get(2, 0), Some(vec![2]));
         assert_eq!(c.get(3, 0), Some(vec![3]));
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_at_capacity_evicts_nothing() {
+        let c = cache(2, 10_000);
+        c.insert(1, vec![1], 0);
+        c.insert(2, vec![2], 0);
+        c.insert(2, vec![22], 0); // overwrite, not a new key
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1, 0), Some(vec![1]));
+        assert_eq!(c.get(2, 0), Some(vec![22]));
+        assert_eq!(c.stats().evictions, 0);
     }
 
     #[test]
@@ -230,5 +307,15 @@ mod tests {
         c.purge_stale(1);
         assert_eq!(c.len(), 3);
         assert_eq!(c.get(6, 1), Some(vec![6]));
+    }
+
+    #[test]
+    fn purge_stale_reclaims_expired_entries() {
+        let c = cache(16, 1);
+        c.insert_at(1, vec![1], 0, 0);
+        c.insert_at(2, vec![2], 0, 5_000);
+        c.purge_stale_at(0, 5_500); // key 1 is 5.5ms old, TTL is 1ms
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get_at(2, 0, 5_600), Some(vec![2]));
     }
 }

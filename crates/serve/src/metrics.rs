@@ -2,12 +2,12 @@
 //! rejections, and a log2-bucketed latency histogram — rendered as a
 //! Prometheus-style text exposition on `GET /metrics`.
 //!
-//! Everything is lock-free atomics so the hot path pays a handful of
-//! relaxed `fetch_add`s. The histogram's 64 power-of-two buckets cover
+//! Everything is lock-free [`Counter`]s so the hot path pays a handful
+//! of relaxed `fetch_add`s. The histogram's 64 power-of-two buckets cover
 //! 1 ns to ~584 years; quantiles are estimated by bucket upper bounds,
 //! which is exactly the fidelity a p99 gate needs (within 2× of truth).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use gb_common::Counter;
 
 /// Routes tracked individually (everything else lands in `other`).
 const ROUTES: &[&str] = &[
@@ -22,17 +22,17 @@ const ROUTES: &[&str] = &[
 /// A fixed-bucket (log2) latency histogram over nanoseconds.
 #[derive(Debug)]
 pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum_ns: AtomicU64,
+    buckets: Vec<Counter>,
+    count: Counter,
+    sum_ns: Counter,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> LatencyHistogram {
         LatencyHistogram {
-            buckets: (0..64).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
+            buckets: (0..64).map(|_| Counter::new()).collect(),
+            count: Counter::new(),
+            sum_ns: Counter::new(),
         }
     }
 }
@@ -42,23 +42,20 @@ impl LatencyHistogram {
     pub fn record(&self, ns: u64) {
         let bucket = (64 - ns.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
         if let Some(b) = self.buckets.get(bucket) {
-            b.fetch_add(1, Ordering::Relaxed);
+            b.incr();
         }
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.incr();
+        self.sum_ns.add(ns);
     }
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.get()
     }
 
     /// Mean latency in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
-        self.sum_ns
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
+        self.sum_ns.get().checked_div(self.count()).unwrap_or(0)
     }
 
     /// Upper bound of the bucket containing quantile `q` (0.0..=1.0).
@@ -70,7 +67,7 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += b.get();
             if seen >= rank {
                 return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
             }
@@ -82,12 +79,12 @@ impl LatencyHistogram {
 /// All server counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    route_hits: [AtomicU64; 6],
-    route_other: AtomicU64,
-    status_2xx: AtomicU64,
-    status_4xx: AtomicU64,
-    status_5xx: AtomicU64,
-    quota_rejections: AtomicU64,
+    route_hits: [Counter; 6],
+    route_other: Counter,
+    status_2xx: Counter,
+    status_4xx: Counter,
+    status_5xx: Counter,
+    quota_rejections: Counter,
     pub latency: LatencyHistogram,
 }
 
@@ -97,11 +94,11 @@ impl Metrics {
         match ROUTES.iter().position(|r| *r == path) {
             Some(i) => {
                 if let Some(c) = self.route_hits.get(i) {
-                    c.fetch_add(1, Ordering::Relaxed);
+                    c.incr();
                 }
             }
             None => {
-                self.route_other.fetch_add(1, Ordering::Relaxed);
+                self.route_other.incr();
             }
         }
         let class = match status {
@@ -109,25 +106,21 @@ impl Metrics {
             400..=499 => &self.status_4xx,
             _ => &self.status_5xx,
         };
-        class.fetch_add(1, Ordering::Relaxed);
+        class.incr();
         if status == 429 {
-            self.quota_rejections.fetch_add(1, Ordering::Relaxed);
+            self.quota_rejections.incr();
         }
         self.latency.record(elapsed_ns);
     }
 
     /// Total requests across every route.
     pub fn total_requests(&self) -> u64 {
-        self.route_hits
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum::<u64>()
-            + self.route_other.load(Ordering::Relaxed)
+        self.route_hits.iter().map(|c| c.get()).sum::<u64>() + self.route_other.get()
     }
 
     /// Requests rejected by admission control.
     pub fn quota_rejections(&self) -> u64 {
-        self.quota_rejections.load(Ordering::Relaxed)
+        self.quota_rejections.get()
     }
 
     /// Render the Prometheus-style exposition. Cache and engine numbers
@@ -141,27 +134,24 @@ impl Metrics {
     ) -> String {
         let mut out = String::with_capacity(1024);
         for (i, route) in ROUTES.iter().enumerate() {
-            let n = self
-                .route_hits
-                .get(i)
-                .map_or(0, |c| c.load(Ordering::Relaxed));
+            let n = self.route_hits.get(i).map_or(0, |c| c.get());
             out.push_str(&format!("gb_requests_total{{route=\"{route}\"}} {n}\n"));
         }
         out.push_str(&format!(
             "gb_requests_total{{route=\"other\"}} {}\n",
-            self.route_other.load(Ordering::Relaxed)
+            self.route_other.get()
         ));
         out.push_str(&format!(
             "gb_responses_total{{class=\"2xx\"}} {}\n",
-            self.status_2xx.load(Ordering::Relaxed)
+            self.status_2xx.get()
         ));
         out.push_str(&format!(
             "gb_responses_total{{class=\"4xx\"}} {}\n",
-            self.status_4xx.load(Ordering::Relaxed)
+            self.status_4xx.get()
         ));
         out.push_str(&format!(
             "gb_responses_total{{class=\"5xx\"}} {}\n",
-            self.status_5xx.load(Ordering::Relaxed)
+            self.status_5xx.get()
         ));
         out.push_str(&format!(
             "gb_quota_rejections_total {}\n",

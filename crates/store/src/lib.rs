@@ -230,6 +230,8 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
     tmp_name.push(format!(
         ".{}-{}.tmp-gbsnap",
         std::process::id(),
+        // No thread observes another's ticket, only uniqueness matters.
+        // gb-lint: allow(atomic-ordering) -- temp-name uniqueness ticket
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     let tmp = path.with_file_name(tmp_name);
