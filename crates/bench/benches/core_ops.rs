@@ -119,18 +119,132 @@ fn bench_trie_lookup(c: &mut Criterion) {
     let coverings: Vec<_> = s.polys.iter().map(|p| s.block.cover(p)).collect();
     let cells: Vec<gb_cell::CellId> = coverings.iter().flat_map(|c| c.iter()).collect();
 
+    // `trie_lookup` keeps the baseline semantics (the per-level pointer
+    // walk); `trie_lookup_flat` is the published read path (the flat
+    // index's sorted-stream cursor, exactly what `select_adapted` uses
+    // over a covering). Same probes, same trie.
+    let trie = qc.trie();
+    assert!(trie.has_flat_index(), "rebuild must publish the flat index");
     c.bench_function("trie_lookup", |b| {
-        let trie = qc.trie();
         b.iter(|| {
             let mut hits = 0usize;
             for &cell in &cells {
-                if let Some(node) = trie.node_for(black_box(cell)) {
+                if let Some(node) = trie.node_for_walk(black_box(cell)) {
                     if trie.agg_of(node).is_some() {
                         hits += 1;
                     }
                 }
             }
             hits
+        })
+    });
+    c.bench_function("trie_lookup_flat", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            let mut probe = trie.flat_cursor();
+            for &cell in &cells {
+                if let geoblocks::trie::FlatHit::Agg(_) = probe.lookup(black_box(cell)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_covering_memo(c: &mut Criterion) {
+    use geoblocks::CoveringMemo;
+    let s = setup();
+    let level = s.block.level();
+
+    let mut g = c.benchmark_group("covering_memo");
+    // Cold: every polygon misses (fresh memo per pass), so each lookup
+    // pays hashing + the real covering + insert — the miss-path overhead
+    // relative to the bare `covering/*` benches.
+    g.bench_function("cold", |b| {
+        b.iter_batched(
+            || CoveringMemo::new(512),
+            |memo| {
+                let mut total = 0usize;
+                for poly in &s.polys {
+                    let verify = gb_cell::normalized_vertex_bits(black_box(poly));
+                    let key = gb_cell::cover_key_from_bits(&verify, level);
+                    total += memo
+                        .get_or_insert_with(key, &verify, || s.block.cover(poly))
+                        .len();
+                }
+                total
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // Warm: every polygon hits, so a lookup is hashing + one shard probe
+    // + the verify compare — the cost repeated dashboard queries pay
+    // instead of re-covering.
+    let memo = CoveringMemo::new(512);
+    for poly in &s.polys {
+        let verify = gb_cell::normalized_vertex_bits(poly);
+        let key = gb_cell::cover_key_from_bits(&verify, level);
+        memo.get_or_insert_with(key, &verify, || s.block.cover(poly));
+    }
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for poly in &s.polys {
+                let verify = gb_cell::normalized_vertex_bits(black_box(poly));
+                let key = gb_cell::cover_key_from_bits(&verify, level);
+                total += memo
+                    .get_or_insert_with(key, &verify, || s.block.cover(poly))
+                    .len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_serve_batch(c: &mut Criterion) {
+    use gb_serve::http::HttpRequest;
+    use gb_serve::{GbServer, ServeConfig};
+    use geoblocks::api::{self, QueryRequest};
+    use geoblocks::GeoBlockEngine;
+    use std::sync::Arc;
+
+    let s = setup();
+    let engine = Arc::new(GeoBlockEngine::new(s.block.clone(), 0.05));
+    let server = GbServer::new(
+        Arc::clone(&engine),
+        ServeConfig {
+            threads: 4,
+            quota_per_sec: 0.0,
+            cache_capacity: 0, // measure execution, not replay
+            ..ServeConfig::default()
+        },
+    );
+    // An 8-item dashboard fan-in with repeated polygons (the
+    // covering-shared path), through the full in-process HTTP handler:
+    // parse → decode → batch execute → encode.
+    let requests: Vec<QueryRequest> = (0..8)
+        .map(|i| {
+            let polygon = s.polys[(i * 5) % 4].clone();
+            if i % 3 == 2 {
+                QueryRequest::Count { polygon }
+            } else {
+                QueryRequest::Select {
+                    polygon,
+                    spec: s.spec.clone(),
+                }
+            }
+        })
+        .collect();
+    let body = api::encode_request(&QueryRequest::Batch { requests });
+
+    c.bench_function("serve_batch", |b| {
+        b.iter(|| {
+            let req = HttpRequest::new("POST", "/v1/batch").with_body(body.clone());
+            let resp = server.handle(black_box(&req));
+            assert_eq!(resp.status, 200);
+            resp.body.len()
         })
     });
 }
@@ -189,6 +303,6 @@ fn bench_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_point_to_cell, bench_covering, bench_queries, bench_trie_lookup, bench_substrates, bench_build
+    targets = bench_point_to_cell, bench_covering, bench_queries, bench_trie_lookup, bench_covering_memo, bench_serve_batch, bench_substrates, bench_build
 }
 criterion_main!(benches);

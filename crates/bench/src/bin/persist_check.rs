@@ -166,6 +166,7 @@ fn main() {
         block: &block,
         trie: None,
         hits: None,
+        hot_queries: None,
     }
     .to_bytes_v1();
     match Snapshot::from_bytes(&v1_bytes) {

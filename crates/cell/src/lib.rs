@@ -22,10 +22,12 @@ pub mod cover;
 pub mod curve;
 pub mod grid;
 pub mod id;
+pub mod polyhash;
 pub mod union;
 
 pub use cover::{cover_polygon, cover_rect, covering_stats, CovererOptions, CoveringStats};
 pub use curve::{CurveCursor, CurveKind};
 pub use grid::Grid;
 pub use id::{CellId, MAX_LEVEL};
+pub use polyhash::{cover_key_from_bits, normalized_vertex_bits, polygon_cover_key};
 pub use union::CellUnion;

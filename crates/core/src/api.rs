@@ -50,6 +50,12 @@ pub enum QueryRequest {
     Count { polygon: Polygon },
     /// Apply a batch of new tuples (§5). Never cached; bumps the epoch.
     Update { batch: UpdateBatch },
+    /// Several Select/Count requests executed against **one** pinned
+    /// engine state, sharing coverings between same-polygon items (the
+    /// dashboard fan-in path — see `GeoBlockEngine::query_batch`).
+    /// Update items and nested batches are rejected at decode and
+    /// execution time.
+    Batch { requests: Vec<QueryRequest> },
 }
 
 /// A result plus the execution counters and the **data epoch** the result
@@ -80,6 +86,10 @@ pub enum QueryReply {
     Select(QueryResponse<AggResult>),
     Count(QueryResponse<u64>),
     Update(QueryResponse<UpdateReport>),
+    /// One reply per batch item, in request order; the outer epoch is
+    /// the single pinned epoch every item was answered at, the outer
+    /// stats are the per-item stats summed.
+    Batch(QueryResponse<Vec<QueryReply>>),
 }
 
 impl QueryReply {
@@ -89,15 +99,18 @@ impl QueryReply {
             QueryReply::Select(r) => r.epoch,
             QueryReply::Count(r) => r.epoch,
             QueryReply::Update(r) => r.epoch,
+            QueryReply::Batch(r) => r.epoch,
         }
     }
 
-    /// The execution stats carried by whichever variant this is.
+    /// The execution stats carried by whichever variant this is (summed
+    /// over items for a batch).
     pub fn stats(&self) -> QueryStats {
         match self {
             QueryReply::Select(r) => r.stats,
             QueryReply::Count(r) => r.stats,
             QueryReply::Update(r) => r.stats,
+            QueryReply::Batch(r) => r.stats,
         }
     }
 }
@@ -250,8 +263,13 @@ impl From<ServeError> for GbError {
 const KIND_SELECT: u8 = 1;
 const KIND_COUNT: u8 = 2;
 const KIND_UPDATE: u8 = 3;
+const KIND_BATCH: u8 = 4;
 /// Reply tag for the error variant (reply tags reuse the request kinds).
 const KIND_ERROR: u8 = 0;
+
+/// Decoder-side bound on batch items — far above any dashboard fan-in,
+/// far below the generic [`MAX_WIRE_ITEMS`] (each item is a polygon).
+const MAX_BATCH_ITEMS: usize = 4096;
 
 fn func_code(f: AggFunc) -> u8 {
     match f {
@@ -424,27 +442,85 @@ fn check_version(r: &mut ByteReader<'_>) -> Result<(), GbError> {
     Ok(())
 }
 
+/// Write one request's kind byte + body (recursing for batches).
+fn write_request_body(w: &mut ByteWriter, req: &QueryRequest) {
+    match req {
+        QueryRequest::Select { polygon, spec } => {
+            w.u8(KIND_SELECT);
+            write_polygon(w, polygon);
+            write_spec(w, spec);
+        }
+        QueryRequest::Count { polygon } => {
+            w.u8(KIND_COUNT);
+            write_polygon(w, polygon);
+        }
+        QueryRequest::Update { batch } => {
+            w.u8(KIND_UPDATE);
+            write_batch(w, batch);
+        }
+        QueryRequest::Batch { requests } => {
+            w.u8(KIND_BATCH);
+            w.len_u32(requests.len());
+            for r in requests {
+                write_request_body(w, r);
+            }
+        }
+    }
+}
+
 /// Encode a request for the wire (HTTP body of `POST /v1/query` and the
 /// kind-specific endpoints).
 pub fn encode_request(req: &QueryRequest) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.u8(WIRE_VERSION);
-    match req {
-        QueryRequest::Select { polygon, spec } => {
-            w.u8(KIND_SELECT);
-            write_polygon(&mut w, polygon);
-            write_spec(&mut w, spec);
-        }
-        QueryRequest::Count { polygon } => {
-            w.u8(KIND_COUNT);
-            write_polygon(&mut w, polygon);
-        }
-        QueryRequest::Update { batch } => {
-            w.u8(KIND_UPDATE);
-            write_batch(&mut w, batch);
-        }
-    }
+    write_request_body(&mut w, req);
     w.into_inner()
+}
+
+/// Read one request given its already-consumed kind byte. `top_level`
+/// gates what a batch may contain: no updates (a batch answers from one
+/// pinned read-only state) and no nesting.
+fn read_request_kind(
+    r: &mut ByteReader<'_>,
+    kind: u8,
+    top_level: bool,
+) -> Result<QueryRequest, GbError> {
+    match kind {
+        KIND_SELECT => {
+            let polygon = read_polygon(r)?;
+            let spec = read_spec(r)?;
+            Ok(QueryRequest::Select { polygon, spec })
+        }
+        KIND_COUNT => {
+            let polygon = read_polygon(r)?;
+            Ok(QueryRequest::Count { polygon })
+        }
+        KIND_UPDATE if top_level => {
+            let batch = read_batch(r)?;
+            Ok(QueryRequest::Update { batch })
+        }
+        KIND_UPDATE => Err(GbError::bad_request(
+            "update requests are not allowed inside a batch".to_string(),
+        )),
+        KIND_BATCH if top_level => {
+            let n = read_len(r, "query batch")?;
+            if n > MAX_BATCH_ITEMS {
+                return Err(GbError::bad_request(format!(
+                    "batch has {n} items, limit is {MAX_BATCH_ITEMS}"
+                )));
+            }
+            let mut requests = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = map_trunc(r.u8())?;
+                requests.push(read_request_kind(r, k, false)?);
+            }
+            Ok(QueryRequest::Batch { requests })
+        }
+        KIND_BATCH => Err(GbError::bad_request("batches do not nest".to_string())),
+        other => Err(GbError::bad_request(format!(
+            "unknown request kind {other}"
+        ))),
+    }
 }
 
 /// Decode a request; every malformed input comes back as a
@@ -453,28 +529,45 @@ pub fn decode_request(bytes: &[u8]) -> Result<QueryRequest, GbError> {
     let mut r = ByteReader::new(bytes, "api request");
     check_version(&mut r)?;
     let kind = map_trunc(r.u8())?;
-    let req = match kind {
-        KIND_SELECT => {
-            let polygon = read_polygon(&mut r)?;
-            let spec = read_spec(&mut r)?;
-            QueryRequest::Select { polygon, spec }
-        }
-        KIND_COUNT => {
-            let polygon = read_polygon(&mut r)?;
-            QueryRequest::Count { polygon }
-        }
-        KIND_UPDATE => {
-            let batch = read_batch(&mut r)?;
-            QueryRequest::Update { batch }
-        }
-        other => {
-            return Err(GbError::bad_request(format!(
-                "unknown request kind {other}"
-            )))
-        }
-    };
+    let req = read_request_kind(&mut r, kind, true)?;
     map_trunc(r.finish())?;
     Ok(req)
+}
+
+/// Write one successful reply's kind byte + body (recursing for batches).
+fn write_reply_body(w: &mut ByteWriter, reply: &QueryReply) {
+    match reply {
+        QueryReply::Select(r) => {
+            w.u8(KIND_SELECT);
+            w.u64(r.epoch);
+            write_stats(w, &r.stats);
+            w.u64(r.result.count);
+            w.u8(u8::from(r.result.is_finalized()));
+            w.f64_slice(r.result.values());
+        }
+        QueryReply::Count(r) => {
+            w.u8(KIND_COUNT);
+            w.u64(r.epoch);
+            write_stats(w, &r.stats);
+            w.u64(r.result);
+        }
+        QueryReply::Update(r) => {
+            w.u8(KIND_UPDATE);
+            w.u64(r.epoch);
+            write_stats(w, &r.stats);
+            w.u64(r.result.in_place as u64);
+            w.u64(r.result.new_cells as u64);
+        }
+        QueryReply::Batch(r) => {
+            w.u8(KIND_BATCH);
+            w.u64(r.epoch);
+            write_stats(w, &r.stats);
+            w.len_u32(r.result.len());
+            for item in &r.result {
+                write_reply_body(w, item);
+            }
+        }
+    }
 }
 
 /// Encode a reply (success or error) for the wire. The error arm carries
@@ -489,29 +582,73 @@ pub fn encode_reply(reply: &Result<QueryReply, GbError>) -> Vec<u8> {
             w.str(e.code());
             w.str(&e.to_string());
         }
-        Ok(QueryReply::Select(r)) => {
-            w.u8(KIND_SELECT);
-            w.u64(r.epoch);
-            write_stats(&mut w, &r.stats);
-            w.u64(r.result.count);
-            w.u8(u8::from(r.result.is_finalized()));
-            w.f64_slice(r.result.values());
-        }
-        Ok(QueryReply::Count(r)) => {
-            w.u8(KIND_COUNT);
-            w.u64(r.epoch);
-            write_stats(&mut w, &r.stats);
-            w.u64(r.result);
-        }
-        Ok(QueryReply::Update(r)) => {
-            w.u8(KIND_UPDATE);
-            w.u64(r.epoch);
-            write_stats(&mut w, &r.stats);
-            w.u64(r.result.in_place as u64);
-            w.u64(r.result.new_cells as u64);
-        }
+        Ok(reply) => write_reply_body(&mut w, reply),
     }
     w.into_inner()
+}
+
+/// Read one successful reply given its already-consumed kind byte.
+fn read_reply_kind(
+    r: &mut ByteReader<'_>,
+    kind: u8,
+    top_level: bool,
+) -> Result<QueryReply, GbError> {
+    match kind {
+        KIND_SELECT => {
+            let epoch = map_trunc(r.u64())?;
+            let stats = read_stats(r)?;
+            let count = map_trunc(r.u64())?;
+            let finalized = map_trunc(r.u8())? != 0;
+            let values = map_trunc(r.f64_vec())?;
+            Ok(QueryReply::Select(QueryResponse::new(
+                AggResult::from_wire(count, values, finalized),
+                stats,
+                epoch,
+            )))
+        }
+        KIND_COUNT => {
+            let epoch = map_trunc(r.u64())?;
+            let stats = read_stats(r)?;
+            let count = map_trunc(r.u64())?;
+            Ok(QueryReply::Count(QueryResponse::new(count, stats, epoch)))
+        }
+        KIND_UPDATE => {
+            let epoch = map_trunc(r.u64())?;
+            let stats = read_stats(r)?;
+            let in_place = map_trunc(r.u64())? as usize;
+            let new_cells = map_trunc(r.u64())? as usize;
+            Ok(QueryReply::Update(QueryResponse::new(
+                UpdateReport {
+                    in_place,
+                    new_cells,
+                },
+                stats,
+                epoch,
+            )))
+        }
+        KIND_BATCH if top_level => {
+            let epoch = map_trunc(r.u64())?;
+            let stats = read_stats(r)?;
+            let n = read_len(r, "batch reply")?;
+            if n > MAX_BATCH_ITEMS {
+                return Err(GbError::bad_request(format!(
+                    "batch reply has {n} items, limit is {MAX_BATCH_ITEMS}"
+                )));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = map_trunc(r.u8())?;
+                // Batches fail whole (one error reply for the request),
+                // so a success frame never embeds per-item errors.
+                items.push(read_reply_kind(r, k, false)?);
+            }
+            Ok(QueryReply::Batch(QueryResponse::new(items, stats, epoch)))
+        }
+        KIND_BATCH => Err(GbError::bad_request(
+            "batch replies do not nest".to_string(),
+        )),
+        other => Err(GbError::bad_request(format!("unknown reply kind {other}"))),
+    }
 }
 
 /// Decode a reply. A wire-encoded error decodes to [`GbError::Remote`]
@@ -521,52 +658,18 @@ pub fn decode_reply(bytes: &[u8]) -> Result<QueryReply, GbError> {
     let mut r = ByteReader::new(bytes, "api reply");
     check_version(&mut r)?;
     let kind = map_trunc(r.u8())?;
-    let reply = match kind {
-        KIND_ERROR => {
-            let status = map_trunc(r.u16())?;
-            let code = map_trunc(r.str())?;
-            let message = map_trunc(r.str())?;
-            map_trunc(r.finish())?;
-            return Err(GbError::Remote {
-                status,
-                code,
-                message,
-            });
-        }
-        KIND_SELECT => {
-            let epoch = map_trunc(r.u64())?;
-            let stats = read_stats(&mut r)?;
-            let count = map_trunc(r.u64())?;
-            let finalized = map_trunc(r.u8())? != 0;
-            let values = map_trunc(r.f64_vec())?;
-            QueryReply::Select(QueryResponse::new(
-                AggResult::from_wire(count, values, finalized),
-                stats,
-                epoch,
-            ))
-        }
-        KIND_COUNT => {
-            let epoch = map_trunc(r.u64())?;
-            let stats = read_stats(&mut r)?;
-            let count = map_trunc(r.u64())?;
-            QueryReply::Count(QueryResponse::new(count, stats, epoch))
-        }
-        KIND_UPDATE => {
-            let epoch = map_trunc(r.u64())?;
-            let stats = read_stats(&mut r)?;
-            let in_place = map_trunc(r.u64())? as usize;
-            let new_cells = map_trunc(r.u64())? as usize;
-            QueryReply::Update(QueryResponse::new(
-                UpdateReport {
-                    in_place,
-                    new_cells,
-                },
-                stats,
-                epoch,
-            ))
-        }
-        other => return Err(GbError::bad_request(format!("unknown reply kind {other}"))),
-    };
+    if kind == KIND_ERROR {
+        let status = map_trunc(r.u16())?;
+        let code = map_trunc(r.str())?;
+        let message = map_trunc(r.str())?;
+        map_trunc(r.finish())?;
+        return Err(GbError::Remote {
+            status,
+            code,
+            message,
+        });
+    }
+    let reply = read_reply_kind(&mut r, kind, true)?;
     map_trunc(r.finish())?;
     Ok(reply)
 }
@@ -581,6 +684,19 @@ pub fn request_cache_key(req: &QueryRequest, filter_key: u64) -> Option<u64> {
         QueryRequest::Select { .. } | QueryRequest::Count { .. } => {
             let bytes = encode_request(req);
             Some(fnv1a64(&bytes) ^ filter_key.rotate_left(17))
+        }
+        // A batch is cacheable iff every item is (read-only); its reply
+        // carries one epoch, so the usual epoch validation applies.
+        QueryRequest::Batch { requests } => {
+            if requests
+                .iter()
+                .all(|r| matches!(r, QueryRequest::Select { .. } | QueryRequest::Count { .. }))
+            {
+                let bytes = encode_request(req);
+                Some(fnv1a64(&bytes) ^ filter_key.rotate_left(17))
+            } else {
+                None
+            }
         }
     }
 }

@@ -40,15 +40,18 @@ use crate::aggregate::AggResult;
 use crate::api::{GbError, QueryReply, QueryRequest, QueryResponse};
 use crate::block::GeoBlock;
 use crate::kernel::PublishKernel;
+use crate::memo::{CoveringMemo, HotQueryTable};
 use crate::qc::{self, CacheMetrics, RebuildPolicy};
 use crate::query::QueryStats;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::trie::AggregateTrie;
 use crate::update::{UpdateBatch, UpdateReport};
+use gb_cell::CellUnion;
 use gb_common::sync::OrderedMutex;
-use gb_common::{Counter, FxHashMap};
+use gb_common::{Counter, FxHashMap, Pool};
 use gb_data::{AggSpec, DataError, Filter};
 use gb_geom::Polygon;
+use gb_store::fnv1a64;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -72,6 +75,17 @@ const RANK_SHARD: u8 = 1;
 fn shard_of(raw: u64) -> usize {
     (raw.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % N_SHARDS
 }
+
+/// Default covering-memo capacity (total across shards). Coverings are a
+/// few KB each; dashboards cycle through at most a few hundred shapes.
+const DEFAULT_MEMO_CAPACITY: usize = 512;
+
+/// Distinct query shapes the hot-query table tracks.
+const HOT_TABLE_CAPACITY: usize = 256;
+
+/// Top-K query shapes persisted into the snapshot's `HOTQ` section and
+/// replayed by warm starts.
+pub const HOT_PERSIST_K: usize = 64;
 
 /// One immutable epoch of the engine: the block, the cache built for it,
 /// and the data epoch they are valid for. Queries pin one `Arc` of this
@@ -105,6 +119,13 @@ pub struct GeoBlockEngine {
     probes: Counter,
     direct_hits: Counter,
     child_hits: Counter,
+    /// Polygon → covering memo. Keyed by polygon *content* (and the
+    /// fixed block level), so entries survive every data epoch and cache
+    /// rebuild — a covering depends on neither.
+    memo: CoveringMemo,
+    /// Hottest encoded Select/Count requests, persisted into snapshots
+    /// (`HOTQ`) so restarts warm the memo and the serve result cache.
+    hot_queries: OrderedMutex<HotQueryTable>,
 }
 
 impl GeoBlockEngine {
@@ -143,7 +164,21 @@ impl GeoBlockEngine {
             probes: Counter::new(),
             direct_hits: Counter::new(),
             child_hits: Counter::new(),
+            memo: CoveringMemo::new(DEFAULT_MEMO_CAPACITY),
+            hot_queries: OrderedMutex::new(
+                "hot_queries",
+                RANK_SHARD,
+                HotQueryTable::new(HOT_TABLE_CAPACITY),
+            ),
         }
+    }
+
+    /// Replace the covering memo with one of `capacity` entries (0
+    /// disables memoization — the ablation configuration). Builder-time
+    /// only: entries accumulated so far are dropped.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo = CoveringMemo::new(capacity);
+        self
     }
 
     /// Set the automatic rebuild policy. With `EveryN(n)`, the thread
@@ -193,10 +228,13 @@ impl GeoBlockEngine {
 
     /// Accumulated cache metrics across all threads.
     pub fn metrics(&self) -> CacheMetrics {
+        let memo = self.memo.stats();
         CacheMetrics {
             probes: self.probes.get(),
             direct_hits: self.direct_hits.get(),
             child_hits: self.child_hits.get(),
+            covering_memo_hits: memo.hits,
+            covering_memo_misses: memo.misses,
         }
     }
 
@@ -205,6 +243,12 @@ impl GeoBlockEngine {
         self.probes.reset();
         self.direct_hits.reset();
         self.child_hits.reset();
+        self.memo.reset_stats();
+    }
+
+    /// Number of coverings currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
     }
 
     /// The canonical typed entry point: validate `req` against the
@@ -214,11 +258,36 @@ impl GeoBlockEngine {
         match req {
             QueryRequest::Select { polygon, spec } => {
                 self.validate_spec(spec)?;
+                self.record_hot(req);
                 Ok(QueryReply::Select(self.select(polygon, spec)))
             }
-            QueryRequest::Count { polygon } => Ok(QueryReply::Count(self.count(polygon))),
+            QueryRequest::Count { polygon } => {
+                self.record_hot(req);
+                Ok(QueryReply::Count(self.count(polygon)))
+            }
             QueryRequest::Update { batch } => Ok(QueryReply::Update(self.apply_updates(batch)?)),
+            QueryRequest::Batch { requests } => self.query_batch(requests, 1),
         }
+    }
+
+    /// Track `req` in the hot-query table (the statistics behind
+    /// snapshot-warmed restarts).
+    fn record_hot(&self, req: &QueryRequest) {
+        let bytes = crate::api::encode_request(req);
+        let key = fnv1a64(&bytes);
+        self.hot_queries.lock().record(key, &bytes, 1);
+    }
+
+    /// The hottest persisted-shape requests (encoded wire bytes, hottest
+    /// first) — what `gb_serve` replays at startup to warm its result
+    /// cache on top of the engine-side memo warming.
+    pub fn warm_requests(&self) -> Vec<Vec<u8>> {
+        self.hot_queries
+            .lock()
+            .top(HOT_PERSIST_K)
+            .into_iter()
+            .map(|(_, bytes)| bytes)
+            .collect()
     }
 
     /// Reject specs referencing columns outside the block schema before
@@ -235,10 +304,22 @@ impl GeoBlockEngine {
         Ok(())
     }
 
-    /// COUNT passes straight through to the block (no cache, §3.6).
+    /// The covering of `polygon` over `block`, served from the covering
+    /// memo. The memo lock is never held while covering: a miss computes
+    /// outside the lock and inserts afterwards.
+    fn covering_for(&self, block: &GeoBlock, polygon: &Polygon) -> Arc<CellUnion> {
+        let verify = gb_cell::normalized_vertex_bits(polygon);
+        let key = gb_cell::cover_key_from_bits(&verify, block.level());
+        self.memo
+            .get_or_insert_with(key, &verify, || block.cover(polygon))
+    }
+
+    /// COUNT passes straight through to the block (no trie cache, §3.6 —
+    /// but the covering is memoized like SELECT's).
     pub fn count(&self, polygon: &Polygon) -> QueryResponse<u64> {
         let state = self.state_snapshot();
-        let (count, stats) = state.block.count(polygon);
+        let covering = self.covering_for(&state.block, polygon);
+        let (count, stats) = state.block.count_covering(&covering);
         QueryResponse::new(count, stats, state.data_epoch)
     }
 
@@ -249,11 +330,26 @@ impl GeoBlockEngine {
         // Pin this query to the current epoch's (block, trie) pair; the
         // read lock is released before any work happens.
         let state = self.state_snapshot();
+        let covering = self.covering_for(&state.block, polygon);
+        let response = self.select_on(&state, &covering, spec);
+        self.after_selects(1);
+        response
+    }
+
+    /// The adapted SELECT over an explicit pinned state and covering —
+    /// the shared kernel of [`GeoBlockEngine::select`] and
+    /// [`GeoBlockEngine::query_batch`].
+    fn select_on(
+        &self,
+        state: &EngineState,
+        covering: &CellUnion,
+        spec: &AggSpec,
+    ) -> QueryResponse<AggResult> {
         let mut metrics = CacheMetrics::default();
         let (result, stats) = qc::select_adapted(
             &state.block,
             &state.trie,
-            polygon,
+            covering,
             spec,
             &mut |raw| {
                 let mut shard = self.shards[shard_of(raw)].lock();
@@ -264,14 +360,134 @@ impl GeoBlockEngine {
         self.probes.add(metrics.probes);
         self.direct_hits.add(metrics.direct_hits);
         self.child_hits.add(metrics.child_hits);
+        QueryResponse::new(result, stats, state.data_epoch)
+    }
 
+    /// Advance the query counter by `n_selects` and run the `EveryN`
+    /// rebuild if a boundary was crossed. `fetch_add` hands each counter
+    /// interval to exactly one caller, so every boundary has exactly one
+    /// rebuilder even when batches advance the counter by more than one
+    /// (at most one rebuild per batch — rebuilds are idempotent
+    /// performance adaptations, not per-boundary obligations).
+    fn after_selects(&self, n_selects: usize) {
+        if n_selects == 0 {
+            return;
+        }
         if let RebuildPolicy::EveryN(n) = self.policy {
-            let q = self.query_counter.fetch_add(1, Ordering::AcqRel) + 1;
-            if q.is_multiple_of(n.max(1)) {
+            let n = n.max(1);
+            let before = self.query_counter.fetch_add(n_selects, Ordering::AcqRel);
+            if (before + n_selects) / n > before / n {
                 self.rebuild_cache();
             }
         }
-        QueryResponse::new(result, stats, state.data_epoch)
+    }
+
+    /// Execute several Select/Count requests against **one** pinned
+    /// engine state: group items by covering identity, compute each
+    /// distinct covering once (through the memo), then evaluate every
+    /// item — over a [`Pool`] of `threads` workers when `threads > 1`,
+    /// sequentially otherwise. Items are independent, so the two modes
+    /// are bit-identical; a proptest holds batched execution identical
+    /// to per-request execution across an epoch bump.
+    ///
+    /// The whole batch answers at a single data epoch (the pinned
+    /// state's), which is what makes the reply cacheable under the
+    /// serve layer's epoch-validated result cache.
+    pub fn query_batch(
+        &self,
+        requests: &[QueryRequest],
+        threads: usize,
+    ) -> Result<QueryReply, GbError> {
+        // Validate everything up front: a batch fails whole, with the
+        // offending item named, before any work happens.
+        for (i, req) in requests.iter().enumerate() {
+            match req {
+                QueryRequest::Select { spec, .. } => self
+                    .validate_spec(spec)
+                    .map_err(|e| GbError::bad_request(format!("batch item {i}: {e}")))?,
+                QueryRequest::Count { .. } => {}
+                QueryRequest::Update { .. } => {
+                    return Err(GbError::bad_request(format!(
+                        "batch item {i}: update requests are not allowed inside a batch"
+                    )))
+                }
+                QueryRequest::Batch { .. } => {
+                    return Err(GbError::bad_request(format!(
+                        "batch item {i}: batches do not nest"
+                    )))
+                }
+            }
+            self.record_hot(req);
+        }
+
+        let state = self.state_snapshot();
+        // One covering per distinct polygon content: group by canonical
+        // vertex stream (not just the 64-bit key, so a key collision
+        // cannot alias two polygons), covering through the memo.
+        let mut distinct: FxHashMap<Vec<u64>, Arc<CellUnion>> = FxHashMap::default();
+        let coverings: Vec<Arc<CellUnion>> = requests
+            .iter()
+            .map(|req| {
+                let polygon = match req {
+                    QueryRequest::Select { polygon, .. } | QueryRequest::Count { polygon } => {
+                        polygon
+                    }
+                    // Rejected above; unreachable without panicking.
+                    QueryRequest::Update { .. } | QueryRequest::Batch { .. } => {
+                        return Arc::new(CellUnion::new())
+                    }
+                };
+                let verify = gb_cell::normalized_vertex_bits(polygon);
+                let key = gb_cell::cover_key_from_bits(&verify, state.block.level());
+                distinct
+                    .entry(verify)
+                    .or_insert_with_key(|v| {
+                        self.memo
+                            .get_or_insert_with(key, v, || state.block.cover(polygon))
+                    })
+                    .clone()
+            })
+            .collect();
+
+        let eval = |i: usize| -> QueryReply {
+            let covering = coverings
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| Arc::new(CellUnion::new()));
+            match requests.get(i) {
+                Some(QueryRequest::Select { spec, .. }) => {
+                    QueryReply::Select(self.select_on(&state, &covering, spec))
+                }
+                _ => {
+                    // Only Count remains after validation.
+                    let (count, stats) = state.block.count_covering(&covering);
+                    QueryReply::Count(QueryResponse::new(count, stats, state.data_epoch))
+                }
+            }
+        };
+        let items: Vec<QueryReply> = if threads > 1 && requests.len() > 1 {
+            Pool::new(threads).run(requests.len(), eval)
+        } else {
+            (0..requests.len()).map(eval).collect()
+        };
+
+        let mut stats = QueryStats::default();
+        for item in &items {
+            let s = item.stats();
+            stats.query_cells += s.query_cells;
+            stats.cells_combined += s.cells_combined;
+            stats.searches += s.searches;
+        }
+        let n_selects = requests
+            .iter()
+            .filter(|r| matches!(r, QueryRequest::Select { .. }))
+            .count();
+        self.after_selects(n_selects);
+        Ok(QueryReply::Batch(QueryResponse::new(
+            items,
+            stats,
+            state.data_epoch,
+        )))
     }
 
     /// Commit a batch of new tuples (§5) and advance the data epoch.
@@ -327,10 +543,12 @@ impl GeoBlockEngine {
         // even while updates commit concurrently.
         let state = self.state_snapshot();
         let hits = self.snapshot_hits();
+        let hot = self.hot_queries.lock().top(HOT_PERSIST_K);
         crate::snapshot::SnapshotRef {
             block: &state.block,
             trie: Some(&state.trie),
             hits: Some(&hits),
+            hot_queries: Some(&hot),
         }
         .save(path)
     }
@@ -369,7 +587,34 @@ impl GeoBlockEngine {
                 *shard.entry(k).or_insert(0) += v;
             }
         }
+        if let Some(hot) = snap.hot_queries {
+            engine.warm_from_hot_queries(&hot);
+        }
         engine
+    }
+
+    /// Seed the hot-query table from persisted `(count, encoded request)`
+    /// statistics and pre-compute the covering of every decodable shape,
+    /// so the first real request after a restart hits a warm memo.
+    /// Undecodable entries (e.g. from a newer wire version) are skipped —
+    /// warming is best-effort, never a load failure.
+    fn warm_from_hot_queries(&self, hot: &[(u64, Vec<u8>)]) {
+        let state = self.state_snapshot();
+        for (count, bytes) in hot {
+            let Ok(req) = crate::api::decode_request(bytes) else {
+                continue;
+            };
+            {
+                let mut table = self.hot_queries.lock();
+                table.record(fnv1a64(bytes), bytes, (*count).max(1));
+            }
+            match &req {
+                QueryRequest::Select { polygon, .. } | QueryRequest::Count { polygon } => {
+                    let _ = self.covering_for(&state.block, polygon);
+                }
+                QueryRequest::Update { .. } | QueryRequest::Batch { .. } => {}
+            }
+        }
     }
 
     /// Merge every shard's hit counters into one map (each shard locked

@@ -58,6 +58,7 @@ pub mod build;
 pub mod engine;
 pub mod indexed;
 pub mod kernel;
+pub mod memo;
 pub mod pyramid;
 pub mod qc;
 pub mod query;
@@ -72,6 +73,7 @@ pub use build::{build, build_parallel, build_with_rows, BuildStats};
 pub use engine::GeoBlockEngine;
 pub use indexed::IndexedBlock;
 pub use kernel::PublishKernel;
+pub use memo::{CoveringMemo, HotQueryTable, MemoStats};
 pub use pyramid::AggPyramid;
 pub use qc::{CacheMetrics, GeoBlockQC, RebuildPolicy};
 pub use query::QueryStats;

@@ -1,0 +1,351 @@
+//! The covering memo and the hot-query table — the engine-side state
+//! behind the query hot path's warm start (see DESIGN.md "Query hot
+//! path").
+//!
+//! [`CoveringMemo`] memoizes `polygon → Arc<CellUnion>` keyed by
+//! [`gb_cell::polygon_cover_key`]. Coverings are pure functions of
+//! (polygon, grid, level) and the engine's grid and level are fixed for
+//! its lifetime, so entries **never invalidate** — not on data epochs,
+//! not on trie rebuilds. The 64-bit key is only a lookup key: every
+//! entry stores the polygon's canonical vertex stream and a hit compares
+//! it exactly, so a hash collision degrades to a miss, never to a wrong
+//! covering.
+//!
+//! [`HotQueryTable`] counts encoded Select/Count requests so the engine
+//! can persist its top-K hottest query shapes into the snapshot (`HOTQ`
+//! section) and a restarted server can warm the covering memo and the
+//! serve-layer result cache before the first dashboard paint.
+
+use gb_cell::CellUnion;
+use gb_common::sync::OrderedMutex;
+use gb_common::{Counter, FxHashMap};
+use std::sync::Arc;
+
+/// Rank of the memo shards and the hot-query table in the declared lock
+/// order: leaf locks on the query path, same band as the hit-statistic
+/// shards, never held while computing a covering or taking another lock.
+const RANK_MEMO: u8 = 1;
+
+/// Shard count — a power of two so the shard index is a mask of the
+/// already-mixed key.
+const MEMO_SHARDS: usize = 8;
+
+#[derive(Debug)]
+struct MemoEntry {
+    /// Canonical vertex stream (`gb_cell::normalized_vertex_bits`) for
+    /// exact verification on hit.
+    verify: Vec<u64>,
+    covering: Arc<CellUnion>,
+    /// Insertion sequence for oldest-first eviction.
+    seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemoShard {
+    entries: FxHashMap<u64, MemoEntry>,
+    seq: u64,
+}
+
+/// Hit/miss counts, surfaced through `CacheMetrics` and `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// A sharded, capacity-bounded, never-invalidating covering memo.
+#[derive(Debug)]
+pub struct CoveringMemo {
+    memo: Vec<OrderedMutex<MemoShard>>,
+    shard_capacity: usize,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl CoveringMemo {
+    /// A memo holding at most (roughly) `capacity` coverings across all
+    /// shards. Capacity 0 disables memoization (every lookup computes —
+    /// the ablation configuration).
+    pub fn new(capacity: usize) -> CoveringMemo {
+        CoveringMemo {
+            memo: (0..MEMO_SHARDS)
+                .map(|_| OrderedMutex::new("memo", RANK_MEMO, MemoShard::default()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(MEMO_SHARDS),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    #[inline]
+    fn shard_index(key: u64) -> usize {
+        // polygon_cover_key is already FNV-mixed; fold the high bits in
+        // so shard choice and map bucket choice stay decorrelated.
+        ((key >> 32) ^ key) as usize & (MEMO_SHARDS - 1)
+    }
+
+    /// The covering for the polygon whose cover key is `key` and whose
+    /// canonical vertex stream is `verify`, computing it with `cover` on
+    /// a miss. The covering is computed *outside* the shard lock; two
+    /// racing misses on the same key both compute and the second insert
+    /// wins (both results are bit-identical, so either Arc is correct).
+    pub fn get_or_insert_with<F>(&self, key: u64, verify: &[u64], cover: F) -> Arc<CellUnion>
+    where
+        F: FnOnce() -> CellUnion,
+    {
+        if let Some(slot) = self.memo.get(Self::shard_index(key)) {
+            {
+                let shard = slot.lock();
+                if let Some(entry) = shard.entries.get(&key) {
+                    if entry.verify == verify {
+                        self.hits.incr();
+                        return Arc::clone(&entry.covering);
+                    }
+                }
+            }
+            self.misses.incr();
+            let covering = Arc::new(cover());
+            if self.shard_capacity > 0 {
+                let mut shard = slot.lock();
+                if shard.entries.len() >= self.shard_capacity && !shard.entries.contains_key(&key) {
+                    if let Some(oldest) = shard
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.seq)
+                        .map(|(&k, _)| k)
+                    {
+                        shard.entries.remove(&oldest);
+                    }
+                }
+                let seq = shard.seq;
+                shard.seq += 1;
+                shard.entries.insert(
+                    key,
+                    MemoEntry {
+                        verify: verify.to_vec(),
+                        covering: Arc::clone(&covering),
+                        seq,
+                    },
+                );
+            }
+            covering
+        } else {
+            // Unreachable (MEMO_SHARDS > 0); compute without caching to
+            // stay panic-free.
+            self.misses.incr();
+            Arc::new(cover())
+        }
+    }
+
+    /// Number of memoized coverings.
+    pub fn len(&self) -> usize {
+        self.memo.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
+    }
+
+    /// Zero the hit/miss counters (entries stay — they never go stale).
+    pub fn reset_stats(&self) {
+        self.hits.reset();
+        self.misses.reset();
+    }
+}
+
+/// One tracked query shape: its encoded request bytes and how often it
+/// has been asked.
+#[derive(Debug, Clone)]
+struct HotQuery {
+    bytes: Vec<u8>,
+    count: u64,
+}
+
+/// A bounded count-min-style table of the hottest encoded requests,
+/// keyed by FNV of the wire bytes. When full, a new shape evicts the
+/// coldest entry only if it has been seen more often — a cheap
+/// frequency filter that keeps dashboard staples resident.
+#[derive(Debug, Default)]
+pub struct HotQueryTable {
+    entries: FxHashMap<u64, HotQuery>,
+    capacity: usize,
+}
+
+impl HotQueryTable {
+    /// A table remembering at most `capacity` query shapes.
+    pub fn new(capacity: usize) -> HotQueryTable {
+        HotQueryTable {
+            entries: FxHashMap::default(),
+            capacity,
+        }
+    }
+
+    /// Record one occurrence of the request encoded as `bytes` under
+    /// `key`, with an optional prior count (used when merging a snapshot's
+    /// persisted statistics).
+    pub fn record(&mut self, key: u64, bytes: &[u8], weight: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.count = e.count.saturating_add(weight);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let coldest = self
+                .entries
+                .iter()
+                .min_by_key(|(&k, e)| (e.count, k))
+                .map(|(&k, e)| (k, e.count));
+            match coldest {
+                Some((k, c)) if weight > c => {
+                    self.entries.remove(&k);
+                }
+                _ => return,
+            }
+        }
+        self.entries.insert(
+            key,
+            HotQuery {
+                bytes: bytes.to_vec(),
+                count: weight,
+            },
+        );
+    }
+
+    /// The top `k` query shapes by count (descending, key ascending for
+    /// determinism): `(count, encoded request bytes)`.
+    pub fn top(&self, k: usize) -> Vec<(u64, Vec<u8>)> {
+        let mut all: Vec<(u64, u64, &HotQuery)> = self
+            .entries
+            .iter()
+            .map(|(&key, e)| (e.count, key, e))
+            .collect();
+        all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        all.into_iter()
+            .take(k)
+            .map(|(count, _, e)| (count, e.bytes.clone()))
+            .collect()
+    }
+
+    /// Number of tracked shapes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_cell::CellId;
+
+    fn union(raws: &[u64]) -> CellUnion {
+        CellUnion::from_cells(raws.iter().map(|&r| CellId::from_raw(r)).collect())
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc_without_recompute() {
+        let memo = CoveringMemo::new(16);
+        let mut computes = 0;
+        let a = memo.get_or_insert_with(1, &[10, 20], || {
+            computes += 1;
+            union(&[])
+        });
+        let b = memo.get_or_insert_with(1, &[10, 20], || {
+            computes += 1;
+            union(&[])
+        });
+        assert_eq!(computes, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.stats(), MemoStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn colliding_key_with_different_vertices_is_a_miss() {
+        let memo = CoveringMemo::new(16);
+        memo.get_or_insert_with(1, &[10], || union(&[]));
+        let mut computed = false;
+        memo.get_or_insert_with(1, &[11], || {
+            computed = true;
+            union(&[])
+        });
+        assert!(computed, "a colliding key must never alias polygons");
+        assert_eq!(memo.stats().hits, 0);
+    }
+
+    #[test]
+    fn zero_capacity_always_computes() {
+        let memo = CoveringMemo::new(0);
+        let mut computes = 0;
+        for _ in 0..3 {
+            memo.get_or_insert_with(1, &[10], || {
+                computes += 1;
+                union(&[])
+            });
+        }
+        assert_eq!(computes, 3);
+        assert!(memo.is_empty());
+        assert_eq!(memo.stats().misses, 3);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_within_a_shard() {
+        let memo = CoveringMemo::new(MEMO_SHARDS); // one entry per shard
+        let shard0: Vec<u64> = (0..1000u64)
+            .filter(|&k| CoveringMemo::shard_index(k) == 0)
+            .take(2)
+            .collect();
+        memo.get_or_insert_with(shard0[0], &[1], || union(&[]));
+        memo.get_or_insert_with(shard0[1], &[2], || union(&[]));
+        // The first key was evicted; probing it recomputes.
+        let mut computed = false;
+        memo.get_or_insert_with(shard0[0], &[1], || {
+            computed = true;
+            union(&[])
+        });
+        assert!(computed);
+    }
+
+    #[test]
+    fn hot_table_tracks_counts_and_orders_top() {
+        let mut t = HotQueryTable::new(4);
+        for _ in 0..5 {
+            t.record(1, b"a", 1);
+        }
+        t.record(2, b"b", 1);
+        t.record(3, b"c", 3);
+        let top = t.top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (5, b"a".to_vec()));
+        assert_eq!(top[1], (3, b"c".to_vec()));
+    }
+
+    #[test]
+    fn hot_table_eviction_needs_a_hotter_newcomer() {
+        let mut t = HotQueryTable::new(2);
+        t.record(1, b"a", 5);
+        t.record(2, b"b", 4);
+        t.record(3, b"c", 1); // colder than both residents: dropped
+        assert_eq!(t.len(), 2);
+        assert!(t.top(4).iter().all(|(_, b)| b != b"c"));
+        t.record(4, b"d", 10); // hotter than the coldest: evicts key 2
+        let top = t.top(4);
+        assert_eq!(top.len(), 2);
+        assert!(top.iter().any(|(_, b)| b == b"d"));
+        assert!(top.iter().all(|(_, b)| b != b"b"));
+    }
+}

@@ -15,7 +15,7 @@ use crate::aggregate::{AggPlan, AggResult};
 use crate::api::{GbError, QueryReply, QueryRequest, QueryResponse};
 use crate::block::GeoBlock;
 use crate::query::{Cursors, QueryStats};
-use crate::trie::AggregateTrie;
+use crate::trie::{AggregateTrie, FlatHit};
 use gb_cell::CellId;
 use gb_common::FxHashMap;
 use gb_data::{AggSpec, DataError};
@@ -39,6 +39,11 @@ pub struct CacheMetrics {
     pub direct_hits: u64,
     /// Query cells partially answered via cached direct children.
     pub child_hits: u64,
+    /// Coverings served from the engine's covering memo (always 0 for
+    /// the single-threaded [`GeoBlockQC`], which has no memo).
+    pub covering_memo_hits: u64,
+    /// Coverings computed because the memo had no (verified) entry.
+    pub covering_memo_misses: u64,
 }
 
 impl CacheMetrics {
@@ -64,6 +69,12 @@ pub(crate) fn root_cell_of(block: &GeoBlock) -> CellId {
 
 /// The Figure-8 adapted SELECT over an explicit `(block, trie)` pair.
 ///
+/// Takes the polygon's `covering` rather than the polygon itself: the
+/// covering fully determines the answer, which is what lets the engine
+/// memoize coverings by polygon content and lets a batch share one
+/// covering across requests — the caller obtains it from `block.cover` (the
+/// reference path) or the covering memo (bit-identical by construction).
+///
 /// `record_hit` is called once per query cell that may overlap the block
 /// (§3.6 hit statistics); the single-threaded [`GeoBlockQC`] feeds a plain
 /// hash map, the concurrent engine feeds sharded maps. Factoring the
@@ -71,17 +82,19 @@ pub(crate) fn root_cell_of(block: &GeoBlock) -> CellId {
 pub(crate) fn select_adapted(
     block: &GeoBlock,
     trie: &AggregateTrie,
-    polygon: &Polygon,
+    covering: &gb_cell::CellUnion,
     spec: &AggSpec,
     record_hit: &mut dyn FnMut(u64),
     metrics: &mut CacheMetrics,
 ) -> (AggResult, QueryStats) {
-    let covering = block.cover(polygon);
     let plan = AggPlan::compile(spec);
     let mut result = AggResult::new(spec);
     let mut scratch = AggResult::new(spec);
     let mut stats = QueryStats::default();
     let mut cursors = Cursors::new();
+    // Covering cells arrive sorted by raw id, so the flat-index cursor
+    // resolves almost every probe from a forward scan.
+    let mut probe = trie.flat_cursor();
 
     for qcell in covering.iter() {
         if !block.may_overlap(qcell) {
@@ -93,15 +106,15 @@ pub(crate) fn select_adapted(
         record_hit(qcell.raw());
         metrics.probes += 1;
 
-        // Probe the cache.
-        match trie.node_for(qcell) {
-            Some(node) => {
-                if let Some(agg) = trie.agg_of(node) {
-                    // Fully cached: answer from the trie.
-                    agg.combine_into(&plan, &mut result);
-                    metrics.direct_hits += 1;
-                    continue;
-                }
+        // Probe the cache — the hot lane resolves a cached cell straight
+        // to its record, so the common case never touches the node array.
+        match probe.lookup(qcell) {
+            FlatHit::Agg(agg) => {
+                // Fully cached: answer from the trie.
+                agg.combine_into(&plan, &mut result);
+                metrics.direct_hits += 1;
+            }
+            FlatHit::Node(node) => {
                 if qcell.level() < gb_cell::MAX_LEVEL {
                     if let Some(children) = trie.children_of(node) {
                         // Partially cached: combine cached direct children,
@@ -141,7 +154,7 @@ pub(crate) fn select_adapted(
                     &mut cursors,
                 );
             }
-            None => {
+            FlatHit::Miss => {
                 block.combine_covering_cell(
                     qcell,
                     spec,
@@ -243,6 +256,8 @@ pub(crate) fn rebuild_trie(
         // cacheable.
         trie.insert(cell, count, &mins, &maxs, &sums);
     }
+    // Rebuilds are publish points: hand readers the flat lookup path.
+    trie.build_flat_index();
     trie
 }
 
@@ -371,6 +386,33 @@ impl GeoBlockQC {
                     self.epoch,
                 )))
             }
+            QueryRequest::Batch { requests } => {
+                // The single-threaded QC executes batch items sequentially —
+                // it is the reference the engine's covering-shared batch path
+                // is property-tested against.
+                for (i, item) in requests.iter().enumerate() {
+                    if !matches!(
+                        item,
+                        QueryRequest::Select { .. } | QueryRequest::Count { .. }
+                    ) {
+                        return Err(GbError::bad_request(format!(
+                            "batch item {i}: only select/count requests may appear in a batch"
+                        )));
+                    }
+                }
+                let mut items = Vec::with_capacity(requests.len());
+                let mut stats = QueryStats::default();
+                for item in requests {
+                    let reply = self.query(item)?;
+                    let s = reply.stats();
+                    stats.query_cells += s.query_cells;
+                    stats.cells_combined += s.cells_combined;
+                    stats.searches += s.searches;
+                    items.push(reply);
+                }
+                let epoch = self.epoch;
+                Ok(QueryReply::Batch(QueryResponse::new(items, stats, epoch)))
+            }
         }
     }
 
@@ -380,8 +422,11 @@ impl GeoBlockQC {
         QueryResponse::new(count, stats, self.epoch)
     }
 
-    /// SELECT with the Figure-8 adapted algorithm.
+    /// SELECT with the Figure-8 adapted algorithm. Computes a fresh
+    /// covering every time — the QC is the memo-free reference the
+    /// engine's memoized path is property-tested against.
     pub fn select(&mut self, polygon: &Polygon, spec: &AggSpec) -> QueryResponse<AggResult> {
+        let covering = self.block.cover(polygon);
         let GeoBlockQC {
             block,
             trie,
@@ -392,7 +437,7 @@ impl GeoBlockQC {
         let (result, stats) = select_adapted(
             block,
             trie,
-            polygon,
+            &covering,
             spec,
             &mut |raw| *hits.entry(raw).or_insert(0) += 1,
             metrics,
@@ -415,6 +460,7 @@ impl GeoBlockQC {
             block: &self.block,
             trie: Some(&self.trie),
             hits: Some(&self.hits),
+            hot_queries: None,
         }
         .save(path)
     }

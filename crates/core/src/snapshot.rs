@@ -25,6 +25,7 @@
 //! | `PYRA` | (optional, v2) section format byte, then per layer: level, keys, counts, min/max/sum |
 //! | `TRIE` | (optional) root cell, node arrays, cached records |
 //! | `HITS` | (optional) hit-statistic key/count pairs |
+//! | `HOTQ` | (optional) hot-query shapes: count + encoded request bytes |
 //!
 //! Version-1 files (and any file without a `PYRA` section) still load:
 //! the aggregate pyramid is a deterministic fold of the `CELL` arrays, so
@@ -69,6 +70,12 @@ const TAG_CELLS: SectionTag = SectionTag(*b"CELL");
 const TAG_PYRAMID: SectionTag = SectionTag(*b"PYRA");
 const TAG_TRIE: SectionTag = SectionTag(*b"TRIE");
 const TAG_HITS: SectionTag = SectionTag(*b"HITS");
+const TAG_HOT_QUERIES: SectionTag = SectionTag(*b"HOTQ");
+
+/// Upper bound on persisted hot-query shapes: a corrupt count cannot make
+/// the loader allocate unboundedly, and no sane writer stores more (the
+/// engine persists its top-K with K ≪ this).
+const MAX_HOT_QUERIES: usize = 4096;
 
 /// Internal format byte of the `PYRA` section, independent of the
 /// container version: bump when the layer encoding changes, so a newer
@@ -90,6 +97,7 @@ fn state_hash(
     trie: Option<&AggregateTrie>,
     hits: Option<&FxHashMap<u64, u64>>,
     pyramid: Option<&crate::AggPyramid>,
+    hot_queries: Option<&[(u64, Vec<u8>)]>,
 ) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = gb_common::FxHasher::default();
@@ -125,6 +133,11 @@ fn state_hash(
     if let Some(p) = pyramid {
         p.content_hash().hash(&mut h);
     }
+    // Same append-only pattern: files without a HOTQ section keep the
+    // digest older writers stored.
+    if let Some(hot) = hot_queries {
+        hot.hash(&mut h);
+    }
     h.finish()
 }
 
@@ -138,6 +151,11 @@ pub struct Snapshot {
     /// The §3.6 hit statistics at save time; restoring them preserves
     /// everything the cache sizing has learned.
     pub hits: Option<FxHashMap<u64, u64>>,
+    /// The hottest query shapes at save time (`(count, encoded request)`,
+    /// hottest first); restoring them lets the engine warm its covering
+    /// memo — and the serve layer its result cache — before the first
+    /// real request.
+    pub hot_queries: Option<Vec<(u64, Vec<u8>)>>,
 }
 
 impl Snapshot {
@@ -147,6 +165,7 @@ impl Snapshot {
             block,
             trie: None,
             hits: None,
+            hot_queries: None,
         }
     }
 
@@ -156,6 +175,7 @@ impl Snapshot {
             block: &self.block,
             trie: self.trie.as_ref(),
             hits: self.hits.as_ref(),
+            hot_queries: self.hot_queries.as_deref(),
         }
     }
 
@@ -173,6 +193,7 @@ pub struct SnapshotRef<'a> {
     pub block: &'a GeoBlock,
     pub trie: Option<&'a AggregateTrie>,
     pub hits: Option<&'a FxHashMap<u64, u64>>,
+    pub hot_queries: Option<&'a [(u64, Vec<u8>)]>,
 }
 
 impl SnapshotRef<'_> {
@@ -228,7 +249,13 @@ impl SnapshotRef<'_> {
         w.f64_slice(&b.global_maxs);
         w.f64_slice(&b.global_sums);
         w.u64(b.content_hash());
-        w.u64(state_hash(b, self.trie, self.hits, pyramid));
+        w.u64(state_hash(
+            b,
+            self.trie,
+            self.hits,
+            pyramid,
+            self.hot_queries,
+        ));
         out.section(TAG_HEADER, w.into_inner());
 
         let mut w = ByteWriter::with_capacity(b.num_cells() * b.record_bytes());
@@ -279,6 +306,19 @@ impl SnapshotRef<'_> {
             w.u64_slice(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
             w.u64_slice(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
             out.section(TAG_HITS, w.into_inner());
+        }
+
+        if let Some(hot) = self.hot_queries {
+            let mut w = ByteWriter::new();
+            w.len_u32(hot.len());
+            for (count, bytes) in hot {
+                w.u64(*count);
+                w.len_u32(bytes.len());
+                for &b in bytes {
+                    w.u8(b);
+                }
+            }
+            out.section(TAG_HOT_QUERIES, w.into_inner());
         }
 
         out.into_bytes(version)
@@ -503,6 +543,27 @@ impl Snapshot {
             }
         };
 
+        let hot_queries = match reader.section(TAG_HOT_QUERIES) {
+            None => None,
+            Some(payload) => {
+                let mut r = ByteReader::new(payload, "section `HOTQ`");
+                let n = r.u32()? as usize;
+                if n > MAX_HOT_QUERIES {
+                    return Err(SnapshotError::corrupt(format!(
+                        "HOTQ claims {n} entries (limit {MAX_HOT_QUERIES})"
+                    )));
+                }
+                let mut hot = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let count = r.u64()?;
+                    let len = r.u32()? as usize;
+                    hot.push((count, r.bytes(len)?.to_vec()));
+                }
+                r.finish()?;
+                Some(hot)
+            }
+        };
+
         // Per-section checksums cannot catch sections *swapped* between
         // two individually-valid snapshots, and the block content hash
         // only covers HDRS + CELL. The state hash spans grid, schema,
@@ -515,6 +576,7 @@ impl Snapshot {
             trie.as_ref(),
             hits.as_ref(),
             stored_pyramid.as_ref(),
+            hot_queries.as_deref(),
         );
         if actual_state != stored_state_hash {
             return Err(SnapshotError::corrupt(format!(
@@ -534,7 +596,12 @@ impl Snapshot {
             None if reader.version() < 2 => block.rebuild_pyramid(),
             None => {}
         }
-        Ok(Snapshot { block, trie, hits })
+        Ok(Snapshot {
+            block,
+            trie,
+            hits,
+            hot_queries,
+        })
     }
 
     /// Serialize and write to `path` (atomic temp-file + rename).
@@ -557,6 +624,7 @@ impl GeoBlock {
             block: self,
             trie: None,
             hits: None,
+            hot_queries: None,
         }
         .save(path)
     }
@@ -688,11 +756,13 @@ mod tests {
             block: b.clone(),
             trie: Some(trie_a),
             hits: None,
+            hot_queries: None,
         };
         let snap_b = Snapshot {
             block: b,
             trie: Some(trie_b),
             hits: None,
+            hot_queries: None,
         };
         let ra = SnapshotReader::from_bytes(&snap_a.to_bytes(), SNAPSHOT_VERSION).unwrap();
         let rb = SnapshotReader::from_bytes(&snap_b.to_bytes(), SNAPSHOT_VERSION).unwrap();
@@ -720,6 +790,7 @@ mod tests {
             block: &b,
             trie: None,
             hits: None,
+            hot_queries: None,
         }
         .to_bytes_v1();
         assert_eq!(v1[8], 1, "compat writer must stamp version 1");
@@ -835,6 +906,33 @@ mod tests {
         let mid = payload.len() / 2;
         m[mid] ^= 0x40;
         assert!(Snapshot::from_bytes(&rebuild(m)).is_err());
+    }
+
+    #[test]
+    fn hot_queries_roundtrip_and_grafts_are_rejected() {
+        let b = block(600, 7);
+        let hot = vec![(9u64, vec![1u8, 2, 3]), (4, vec![0xFF, 0x00])];
+        let snap = Snapshot {
+            block: b.clone(),
+            trie: None,
+            hits: None,
+            hot_queries: Some(hot.clone()),
+        };
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back.hot_queries.as_deref(), Some(hot.as_slice()));
+
+        // Dropping the HOTQ section breaks the state hash: a snapshot's
+        // warm-start statistics cannot be silently stripped or replaced.
+        let reader = SnapshotReader::from_bytes(&bytes, SNAPSHOT_VERSION).unwrap();
+        let mut w = SnapshotWriter::new();
+        for tag in reader.tags() {
+            if tag != TAG_HOT_QUERIES {
+                w.section(tag, reader.require(tag).unwrap().to_vec());
+            }
+        }
+        let err = Snapshot::from_bytes(&w.into_bytes(SNAPSHOT_VERSION)).unwrap_err();
+        assert!(err.to_string().contains("state hash"), "{err}");
     }
 
     #[test]

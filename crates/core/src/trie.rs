@@ -11,8 +11,31 @@
 //! The root corresponds to the smallest cell enclosing the GeoBlock's data
 //! ("typically just a small fraction of the possible earth-wide input
 //! space"). Aggregate records are `count` plus per-column min/max/sum.
+//!
+//! **Read-side flat index.** The node encoding is write-compact but the
+//! per-cell [`AggregateTrie::node_for`] walk chases one pointer per
+//! level — a dependent-load chain that dominates covering-sized probe
+//! loops. Because every allocated node corresponds to exactly one cell
+//! id, the trie also carries a *derived* read-side layout, built once at
+//! publish time ([`AggregateTrie::build_flat_index`]): every node's cell
+//! raw id in one array sorted ascending (raw order *is* space-filling
+//! -curve order, so a covering's probe stream sweeps it monotonically),
+//! plus a "hot lane" restricted to the nodes that carry a cached
+//! aggregate, storing the record offset directly. A [`FlatCursor`]
+//! resolves each probe with a short forward scan from the previous
+//! match — cached hits (the overwhelming case after §3.6 adaptation)
+//! cost ~one compare and skip the node array entirely. The index is
+//! pure acceleration state: cleared by structural mutation
+//! ([`AggregateTrie::insert`]), preserved by in-place aggregate updates
+//! ([`AggregateTrie::update_along_path`]), excluded from
+//! [`AggregateTrie::content_hash`] and the snapshot encoding, and not
+//! counted by [`AggregateTrie::size_bytes`] (the Figure-18 budget
+//! bounds the paper's node + record layout; the index is
+//! reconstructible from it). Lookups fall back to the pointer walk
+//! whenever the index is absent, so the two paths are interchangeable —
+//! and a proptest holds them bit-identical.
 
-use gb_cell::CellId;
+use gb_cell::{CellId, MAX_LEVEL};
 
 /// Sentinel: no child block. Index 0 is always the root, so 0 is free.
 const NO_CHILD: u32 = 0;
@@ -36,6 +59,12 @@ pub(crate) struct TrieRawParts<'a> {
     pub agg_values: &'a [f64],
 }
 
+/// How far a [`FlatCursor`] scans forward from its last position before
+/// giving up and binary-searching. Covering probes arrive in ascending
+/// raw order with small gaps, so a one-cache-line window catches nearly
+/// every probe.
+const FLAT_WINDOW: usize = 8;
+
 /// The trie-shaped aggregate cache.
 #[derive(Debug, Clone)]
 pub struct AggregateTrie {
@@ -47,6 +76,137 @@ pub struct AggregateTrie {
     /// Cached record payload, stride `3 × n_cols`: mins, then maxs, then
     /// sums (column-indexed within each third).
     agg_values: Vec<f64>,
+    /// Derived read-side index: every allocated node's cell raw id,
+    /// sorted ascending, with `flat_nodes` aligned index-for-index
+    /// (struct-of-arrays, so searches touch only the key column). Raw
+    /// order is curve order with ancestors adjacent to descendants, so
+    /// a covering's sorted probe stream advances through this array
+    /// monotonically. Empty ⇒ lookups walk.
+    flat_keys: Vec<u64>,
+    flat_nodes: Vec<u32>,
+    /// The hot lane: the subset of `flat_keys` whose node carries a
+    /// cached aggregate, with the record offset (`TrieNode::agg`)
+    /// stored directly in `hot_aggs`. After §3.6 adaptation nearly
+    /// every covering probe lands here, so the cursor answers from a
+    /// ~unit-stride sweep of this smaller array without touching the
+    /// node array at all. Record offsets stay valid across
+    /// [`AggregateTrie::update_along_path`], which edits records in
+    /// place and never reassigns them.
+    hot_keys: Vec<u64>,
+    hot_aggs: Vec<u32>,
+}
+
+/// A stateful probe over the flat index for ascending probe streams
+/// (covering cells arrive sorted by raw id): each lookup scans one small
+/// window forward from the previous match and only falls back to a full
+/// binary search when the stream jumps. Any probe order is correct —
+/// out-of-order probes just pay the binary search — and every answer is
+/// bit-identical to [`AggregateTrie::node_for`].
+#[derive(Debug)]
+pub struct FlatCursor<'a> {
+    trie: &'a AggregateTrie,
+    /// Borrowed index columns — one pointer hop shorter than going
+    /// through `trie` on every probe.
+    keys: &'a [u64],
+    nodes: &'a [u32],
+    hot_keys: &'a [u64],
+    hot_aggs: &'a [u32],
+    /// Position of the previous match in the full / hot arrays.
+    pos: usize,
+    hot_pos: usize,
+}
+
+/// What a [`FlatCursor::lookup`] resolved a covering cell to — the three
+/// cases the adapted SELECT (Figure 8) dispatches on.
+#[derive(Debug)]
+pub enum FlatHit<'a> {
+    /// The cell has a cached aggregate record: answer directly.
+    Agg(CachedAgg<'a>),
+    /// The cell's node exists but carries no record (interior or empty
+    /// slot); the caller may still use its children.
+    Node(u32),
+    /// No path to the cell.
+    Miss,
+}
+
+/// First index `i ≥ pos` (clamped) with `keys[i] >= raw`, assuming the
+/// probe stream is usually ascending: scan a short window forward from
+/// the previous match, binary-search the tail on a long forward jump,
+/// and restart with a full binary search if the stream moved backward.
+#[inline]
+fn lower_bound_from(keys: &[u64], pos: usize, raw: u64) -> usize {
+    // Resume forward only when the stream is still ascending past the
+    // previous position; a backward jump (new covering, out-of-order
+    // probe) or a position past the end restarts with a binary search.
+    let resumable = matches!(keys.get(pos), Some(&k) if k <= raw);
+    if !resumable {
+        return keys.partition_point(|&key| key < raw);
+    }
+    let mut i = pos;
+    let limit = keys.len().min(pos + FLAT_WINDOW);
+    loop {
+        match keys.get(i) {
+            Some(&k) if k < raw => {
+                i += 1;
+                if i >= limit {
+                    // Forward jump past the window: finish in the tail.
+                    let tail = keys.get(i..).unwrap_or_default();
+                    return i + tail.partition_point(|&key| key < raw);
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+impl<'a> FlatCursor<'a> {
+    /// Index of the trie node for `cell`, if the path exists.
+    /// Bit-identical to [`AggregateTrie::node_for_walk`] for any probe
+    /// order; ascending streams resolve from the forward window.
+    pub fn node_for(&mut self, cell: CellId) -> Option<u32> {
+        if self.keys.is_empty() {
+            return self.trie.node_for_walk(cell);
+        }
+        let raw = cell.raw();
+        let i = lower_bound_from(self.keys, self.pos, raw);
+        self.pos = i;
+        match self.keys.get(i) {
+            Some(&key) if key == raw => self.nodes.get(i).copied(),
+            _ => None,
+        }
+    }
+
+    /// Resolve `cell` the way the adapted SELECT consumes it: straight
+    /// to the cached aggregate when one exists (the hot lane, ~one
+    /// compare per probe on a sorted covering), otherwise to the node
+    /// index or a miss. Equivalent to
+    /// `node_for(cell)` + [`AggregateTrie::agg_of`], fused.
+    pub fn lookup(&mut self, cell: CellId) -> FlatHit<'a> {
+        if self.keys.is_empty() {
+            // No index published: the walk is the source of truth.
+            return match self.trie.node_for_walk(cell) {
+                Some(node) => match self.trie.agg_of(node) {
+                    Some(agg) => FlatHit::Agg(agg),
+                    None => FlatHit::Node(node),
+                },
+                None => FlatHit::Miss,
+            };
+        }
+        let raw = cell.raw();
+        let i = lower_bound_from(self.hot_keys, self.hot_pos, raw);
+        self.hot_pos = i;
+        if let (Some(&key), Some(&agg)) = (self.hot_keys.get(i), self.hot_aggs.get(i)) {
+            if key == raw {
+                return FlatHit::Agg(self.trie.agg_view(agg));
+            }
+        }
+        // Not a cached record: resolve interior / empty-slot / miss on
+        // the full array.
+        match self.node_for(cell) {
+            Some(node) => FlatHit::Node(node),
+            None => FlatHit::Miss,
+        }
+    }
 }
 
 /// A cached aggregate record view.
@@ -86,7 +246,7 @@ impl CachedAgg<'_> {
 impl AggregateTrie {
     /// An empty trie rooted at `root_cell` for `n_cols` columns.
     pub fn new(root_cell: CellId, n_cols: usize) -> Self {
-        AggregateTrie {
+        let mut trie = AggregateTrie {
             root_cell,
             nodes: vec![TrieNode {
                 first_child: NO_CHILD,
@@ -95,7 +255,13 @@ impl AggregateTrie {
             n_cols,
             agg_counts: Vec::new(),
             agg_values: Vec::new(),
-        }
+            flat_keys: Vec::new(),
+            flat_nodes: Vec::new(),
+            hot_keys: Vec::new(),
+            hot_aggs: Vec::new(),
+        };
+        trie.build_flat_index();
+        trie
     }
 
     /// The cell the root node represents.
@@ -129,8 +295,44 @@ impl AggregateTrie {
         self.nodes.len() * 8 + self.agg_counts.len() * self.record_bytes()
     }
 
-    /// Index of the trie node for `cell`, if the path exists.
+    /// Index of the trie node for `cell`, if the path exists. Probes the
+    /// flat index when one is built; otherwise (or after a structural
+    /// mutation cleared it) falls back to the pointer walk. The two
+    /// paths return identical results: the flat index enumerates exactly
+    /// the nodes the walk can reach, keyed by their unique cell ids.
     pub fn node_for(&self, cell: CellId) -> Option<u32> {
+        if self.flat_keys.is_empty() {
+            return self.node_for_walk(cell);
+        }
+        let raw = cell.raw();
+        let idx = self.flat_keys.partition_point(|&key| key < raw);
+        match self.flat_keys.get(idx) {
+            Some(&key) if key == raw => self.flat_nodes.get(idx).copied(),
+            _ => None,
+        }
+    }
+
+    /// A stateful probe for sorted probe streams — the covering loop's
+    /// lookup path ([`crate::GeoBlockQC::select`] and the engine probe
+    /// covering cells in ascending raw order, so consecutive lookups
+    /// resolve from one forward cache-line scan instead of a full
+    /// search).
+    pub fn flat_cursor(&self) -> FlatCursor<'_> {
+        FlatCursor {
+            trie: self,
+            keys: &self.flat_keys,
+            nodes: &self.flat_nodes,
+            hot_keys: &self.hot_keys,
+            hot_aggs: &self.hot_aggs,
+            pos: 0,
+            hot_pos: 0,
+        }
+    }
+
+    /// The original per-level pointer walk — the reference
+    /// implementation [`AggregateTrie::node_for`] is benchmarked and
+    /// property-tested against.
+    pub fn node_for_walk(&self, cell: CellId) -> Option<u32> {
         if !self.root_cell.contains(cell) {
             return None;
         }
@@ -143,6 +345,53 @@ impl AggregateTrie {
             cur = first + u32::from(cell.child_position(level));
         }
         Some(cur)
+    }
+
+    /// Whether the read-side flat index is currently built.
+    #[inline]
+    pub fn has_flat_index(&self) -> bool {
+        !self.flat_keys.is_empty()
+    }
+
+    /// (Re)build the read-side flat index: a DFS from the root assigns
+    /// every allocated node its cell id, then the pairs are sorted by
+    /// raw id into the struct-of-arrays layout. Called at publish time
+    /// (trie rebuild, snapshot load) so queries never pay the pointer
+    /// walk.
+    pub fn build_flat_index(&mut self) {
+        let mut pairs = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(0u32, self.root_cell)];
+        while let Some((node, cell)) = stack.pop() {
+            pairs.push((cell.raw(), node));
+            let first = self
+                .nodes
+                .get(node as usize)
+                .map_or(NO_CHILD, |n| n.first_child);
+            if first != NO_CHILD && cell.level() < MAX_LEVEL {
+                for k in 0..4u8 {
+                    stack.push((first + u32::from(k), cell.child(k)));
+                }
+            }
+        }
+        pairs.sort_unstable_by_key(|&(raw, _)| raw);
+        // Aliased child pointers (possible only in adversarial snapshot
+        // input) could list a cell twice; keep one so the search stays
+        // a function.
+        pairs.dedup_by_key(|&mut (raw, _)| raw);
+        self.flat_keys = pairs.iter().map(|&(raw, _)| raw).collect();
+        self.flat_nodes = pairs.iter().map(|&(_, node)| node).collect();
+        // The hot lane: cells whose node carries a record, raw-sorted
+        // (a subsequence of an already-sorted array), with the record
+        // offset inlined.
+        self.hot_keys.clear();
+        self.hot_aggs.clear();
+        for &(raw, node) in &pairs {
+            let agg = self.nodes.get(node as usize).map_or(NO_AGG, |n| n.agg);
+            if agg != NO_AGG {
+                self.hot_keys.push(raw);
+                self.hot_aggs.push(agg);
+            }
+        }
     }
 
     /// The cached aggregate of a node, if present.
@@ -201,6 +450,13 @@ impl AggregateTrie {
         assert_eq!(mins.len(), self.n_cols);
         assert_eq!(maxs.len(), self.n_cols);
         assert_eq!(sums.len(), self.n_cols);
+
+        // Structural mutation may allocate nodes; drop the derived index
+        // and let the publisher rebuild it once after the batch.
+        self.flat_keys.clear();
+        self.flat_nodes.clear();
+        self.hot_keys.clear();
+        self.hot_aggs.clear();
 
         let mut cur = 0u32;
         for level in (self.root_cell.level() + 1)..=cell.level() {
@@ -319,13 +575,20 @@ impl AggregateTrie {
             .zip(aggs)
             .map(|(first_child, agg)| TrieNode { first_child, agg })
             .collect();
-        Ok(AggregateTrie {
+        let mut trie = AggregateTrie {
             root_cell,
             nodes,
             n_cols,
             agg_counts,
             agg_values,
-        })
+            flat_keys: Vec::new(),
+            flat_nodes: Vec::new(),
+            hot_keys: Vec::new(),
+            hot_aggs: Vec::new(),
+        };
+        // Snapshot loads are publish points: hand queries the flat path.
+        trie.build_flat_index();
+        Ok(trie)
     }
 
     /// Apply one new tuple to every cached ancestor of `leaf` (the §5
@@ -488,6 +751,51 @@ mod tests {
         assert_eq!(r.min(0), -3.0);
         let c = t.agg_of(t.node_for(root().child(1)).unwrap()).unwrap();
         assert_eq!(c.count, 5, "sibling path untouched");
+    }
+
+    #[test]
+    fn flat_index_matches_walk_and_survives_updates() {
+        let mut t = AggregateTrie::new(root(), 1);
+        assert!(t.has_flat_index(), "a fresh trie is indexed");
+        t.insert(root().child(2).child(1), 7, &[1.0], &[2.0], &[3.0]);
+        assert!(!t.has_flat_index(), "insert clears the derived index");
+        t.insert(root().child(0), 1, &[0.0], &[0.0], &[0.0]);
+        t.build_flat_index();
+        assert!(t.has_flat_index());
+        // Every allocated node, plus misses inside and outside the root,
+        // agree between the two paths.
+        let probes = [
+            root(),
+            root().child(0),
+            root().child(1),
+            root().child(2),
+            root().child(2).child(1),
+            root().child(2).child(3),
+            root().child(1).child(0),          // no path
+            root().child(2).child(1).child(0), // below a leaf
+            root().next(),                     // outside the root
+            root().parent_at(2),               // above the root
+        ];
+        for cell in probes {
+            assert_eq!(t.node_for(cell), t.node_for_walk(cell), "{cell:?}");
+        }
+        // In-place aggregate updates keep the index valid.
+        t.update_along_path(root().child(2).child(1).child_begin(30), &[9.0]);
+        assert!(t.has_flat_index());
+        let agg = t
+            .agg_of(t.node_for(root().child(2).child(1)).unwrap())
+            .unwrap();
+        assert_eq!(agg.count, 8);
+    }
+
+    #[test]
+    fn flat_index_is_invisible_to_hash_and_size() {
+        let mut t = AggregateTrie::new(root(), 1);
+        t.insert(root().child(1), 3, &[1.0], &[1.0], &[1.0]);
+        let (h0, s0) = (t.content_hash(), t.size_bytes());
+        t.build_flat_index();
+        assert_eq!(t.content_hash(), h0);
+        assert_eq!(t.size_bytes(), s0);
     }
 
     #[test]

@@ -45,6 +45,7 @@ impl Config {
                 "crates/core/src/snapshot.rs",
                 "crates/core/src/engine.rs",
                 "crates/core/src/trie.rs",
+                "crates/core/src/memo.rs",
             ]),
             float_blessed: s(&["crates/core/src/pyramid.rs", "crates/core/src/aggregate.rs"]),
             // `gb_check` wraps every model thread in a real OS thread it
@@ -53,10 +54,12 @@ impl Config {
             cast_checked: s(&["crates/store/src/lib.rs", "crates/core/src/snapshot.rs"]),
             relaxed_blessed: s(&["crates/common/src/stats.rs"]),
             // The workspace lock order: publisher guards first, then
-            // hit-statistic shards, then the state pointer (block + trie
-            // + data epoch), then the pool queue, then the serve-layer
-            // leaf locks (result-cache entries, quota buckets). `shard`
-            // is the conventional loop-variable name for one element of
+            // hit-statistic shards and their rank-1 peers (the covering
+            // -memo shards and the hot-query table — leaf caches that
+            // never nest), then the state pointer (block + trie + data
+            // epoch), then the pool queue, then the serve-layer leaf
+            // locks (result-cache entries, quota buckets). `shard` is
+            // the conventional loop-variable name for one element of
             // `shards`. The same table is enforced at runtime by
             // `gb_common::sync` and at model time by `gb_check`.
             lock_ranks: vec![
@@ -64,6 +67,8 @@ impl Config {
                 ("publish_guard".to_string(), 0),
                 ("shards".to_string(), 1),
                 ("shard".to_string(), 1),
+                ("memo".to_string(), 1),
+                ("hot_queries".to_string(), 1),
                 ("state".to_string(), 2),
                 ("queue".to_string(), 3),
                 ("entries".to_string(), 4),
@@ -139,6 +144,9 @@ mod tests {
             cfg.lock_rank("rebuild_guard")
         );
         assert_eq!(cfg.lock_rank("entries"), cfg.lock_rank("buckets"));
+        assert_eq!(cfg.lock_rank("memo"), cfg.lock_rank("shards"));
+        assert_eq!(cfg.lock_rank("hot_queries"), cfg.lock_rank("shards"));
+        assert!(cfg.lock_rank("memo") < cfg.lock_rank("state"));
         assert_eq!(cfg.lock_rank("trie"), None);
     }
 

@@ -317,8 +317,8 @@ fn lock_order(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
                                 format!(
                                     "lock `{name}` (rank {rank}) acquired while holding \
                                      `{held_name}` (rank {held_rank}); declared order is \
-                                     rebuild_guard/publish_guard < shards < state < queue \
-                                     < entries/buckets"
+                                     rebuild_guard/publish_guard < shards/memo/hot_queries < state \
+                                     < queue < entries/buckets"
                                 ),
                             ));
                         }

@@ -1,6 +1,10 @@
-//! A std-only, one-shot HTTP client for the GeoBlocks endpoints: one
-//! TCP connection per request (`Connection: close`), blocking I/O. Used
-//! by the load generator, the CI smoke, and the e2e tests — it is not a
+//! A std-only HTTP client for the GeoBlocks endpoints, blocking I/O.
+//! Two modes: the one-shot helpers ([`request`]/[`get`]/[`post_query`])
+//! open one TCP connection per request (`Connection: close`), and
+//! [`Connection`] keeps one TCP connection open across many requests
+//! (`Connection: keep-alive`) — the mode the load generator uses, since
+//! per-request TCP setup otherwise dominates sub-100µs queries. Used by
+//! the load generator, the CI smoke, and the e2e tests — it is not a
 //! general HTTP client.
 
 use crate::http::HttpError;
@@ -76,6 +80,136 @@ pub fn post_query(
     let resp = request(addr, "POST", path, &headers, &body)
         .map_err(|e| GbError::Serve(geoblocks::ServeError::Internal(e.to_string())))?;
     api::decode_reply(&resp.body)
+}
+
+/// A persistent connection to a GeoBlocks server: many requests, one TCP
+/// stream. Every request announces `connection: keep-alive`; if the
+/// server closes anyway (idle timeout, request cap), the next call
+/// surfaces `HttpError::Io` and the caller reconnects.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Connection {
+    /// Open a connection to `addr`.
+    pub fn connect(addr: SocketAddr) -> Result<Connection, HttpError> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+            .map_err(|e| HttpError::Io(format!("connect {addr}: {e}")))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// Issue one request on the persistent connection and read exactly
+    /// its response (framed by `content-length`, so the stream stays
+    /// aligned for the next request).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, HttpError> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: geoblocks\r\ncontent-length: {}\r\nconnection: keep-alive\r\n",
+            body.len()
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(body))
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        self.read_response()
+    }
+
+    /// POST a typed [`QueryRequest`] and decode the typed reply (the
+    /// keep-alive counterpart of [`post_query`]).
+    pub fn post_query(
+        &mut self,
+        path: &str,
+        tenant: Option<&str>,
+        req: &QueryRequest,
+    ) -> Result<QueryReply, GbError> {
+        let body = api::encode_request(req);
+        let headers: Vec<(&str, &str)> = match tenant {
+            Some(t) => vec![("x-gb-tenant", t)],
+            None => Vec::new(),
+        };
+        let resp = self
+            .request("POST", path, &headers, &body)
+            .map_err(|e| GbError::Serve(geoblocks::ServeError::Internal(e.to_string())))?;
+        api::decode_reply(&resp.body)
+    }
+
+    /// Read one `content-length`-framed response, leaving any bytes past
+    /// it (there should be none — responses are not pipelined) in the
+    /// carry buffer.
+    fn read_response(&mut self) -> Result<ClientResponse, HttpError> {
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(HttpError::Io(
+                    "server closed the connection mid-response".to_string(),
+                ));
+            }
+            buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        };
+        let head = std::str::from_utf8(buf.get(..head_end).unwrap_or_default())
+            .map_err(|_| HttpError::Malformed("response head is not UTF-8".to_string()))?
+            .to_string();
+        let status = head
+            .split("\r\n")
+            .next()
+            .and_then(|line| line.split_ascii_whitespace().nth(1))
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| HttpError::Malformed(format!("bad status line in: {head}")))?;
+        let declared = head
+            .split("\r\n")
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse::<usize>().ok())?
+            })
+            .ok_or_else(|| HttpError::Malformed("response without content-length".to_string()))?;
+        let mut body: Vec<u8> = buf.get(head_end + 4..).unwrap_or_default().to_vec();
+        while body.len() < declared {
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(HttpError::Io(format!(
+                    "server closed with {} of {declared} response body bytes read",
+                    body.len()
+                )));
+            }
+            body.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        }
+        self.carry = body.split_off(declared.min(body.len()));
+        Ok(ClientResponse { status, body })
+    }
 }
 
 /// Split a raw HTTP/1.1 response into status + body.

@@ -1,9 +1,13 @@
 //! A minimal, panic-free HTTP/1.1 subset: exactly what the GeoBlocks
-//! endpoints need — request line, headers, `Content-Length` bodies — with
-//! hard size limits so a malformed or hostile peer cannot balloon memory.
-//! No chunked encoding, no keep-alive (every response closes the
-//! connection), no TLS: the server is an in-cluster serving shim, not an
-//! edge proxy.
+//! endpoints need — request line, headers, `Content-Length` bodies, and
+//! HTTP/1.1 persistent connections — with hard size limits so a
+//! malformed or hostile peer cannot balloon memory. No chunked encoding,
+//! no TLS: the server is an in-cluster serving shim, not an edge proxy.
+//!
+//! Keep-alive framing: [`HttpRequest::read_from_buffered`] carries bytes
+//! read past one request's declared body over to the next request on the
+//! same connection, and [`HttpResponse`] says whether the sender intends
+//! to keep the connection open (`connection: keep-alive` vs `close`).
 //!
 //! This module is on the `gb_lint` `panic-path` list: parse failures are
 //! values ([`HttpError`]), never panics.
@@ -82,8 +86,27 @@ impl HttpRequest {
     /// Read one request from a stream (blocking until the head + declared
     /// body arrived, the peer closed, or a cap tripped).
     pub fn read_from(stream: &mut dyn Read) -> Result<HttpRequest, HttpError> {
+        let mut carry = Vec::new();
+        match HttpRequest::read_from_buffered(stream, &mut carry)? {
+            Some(req) => Ok(req),
+            None => Err(HttpError::Malformed(
+                "connection closed before the request head completed".to_string(),
+            )),
+        }
+    }
+
+    /// Read one request from a persistent connection. `carry` holds bytes
+    /// read past the previous request's body (HTTP/1.1 peers may pipeline
+    /// or simply land the next head in the same TCP segment); on return it
+    /// holds any bytes past *this* request's body. `Ok(None)` means the
+    /// peer closed cleanly between requests — the keep-alive loop's normal
+    /// exit, distinct from a mid-request disconnect (an error).
+    pub fn read_from_buffered(
+        stream: &mut dyn Read,
+        carry: &mut Vec<u8>,
+    ) -> Result<Option<HttpRequest>, HttpError> {
         // Accumulate until the blank line ending the head.
-        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut buf: Vec<u8> = std::mem::take(carry);
         let mut chunk = [0u8; 1024];
         let head_end = loop {
             if let Some(pos) = find_head_end(&buf) {
@@ -103,6 +126,9 @@ impl HttpRequest {
                 .read(&mut chunk)
                 .map_err(|e| HttpError::Io(e.to_string()))?;
             if n == 0 {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
                 return Err(HttpError::Malformed(
                     "connection closed before the request head completed".to_string(),
                 ));
@@ -170,9 +196,20 @@ impl HttpRequest {
             }
             body.extend_from_slice(chunk.get(..n).unwrap_or_default());
         }
-        body.truncate(declared);
+        // Bytes past this body belong to the connection's next request.
+        *carry = body.split_off(declared.min(body.len()));
         req.body = body;
-        Ok(req)
+        Ok(Some(req))
+    }
+
+    /// Whether the peer asked for the connection to stay open after this
+    /// request. Conservative opt-in: only an explicit
+    /// `connection: keep-alive` persists — absent or any other token
+    /// (notably `close`) means one-shot, which keeps legacy one-request
+    /// clients working unchanged.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
     }
 }
 
@@ -181,7 +218,9 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// A response: status + content type + body (always `Connection: close`).
+/// A response: status + content type + body. `close` controls the
+/// `Connection:` header — `true` (the default) announces a one-shot
+/// connection, `false` announces keep-alive.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
     pub status: u16,
@@ -189,6 +228,8 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Extra headers, e.g. `Retry-After` on 429.
     pub extra_headers: Vec<(String, String)>,
+    /// Whether the sender will close the connection after this response.
+    pub close: bool,
 }
 
 impl HttpResponse {
@@ -199,6 +240,7 @@ impl HttpResponse {
             content_type: "application/x-geoblocks",
             body,
             extra_headers: Vec::new(),
+            close: true,
         }
     }
 
@@ -209,6 +251,7 @@ impl HttpResponse {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             extra_headers: Vec::new(),
+            close: true,
         }
     }
 
@@ -218,14 +261,21 @@ impl HttpResponse {
         self
     }
 
+    /// Announce keep-alive (`close = false`) or close (chainable).
+    pub fn with_close(mut self, close: bool) -> HttpResponse {
+        self.close = close;
+        self
+    }
+
     /// Serialize to the wire.
     pub fn write_to(&self, stream: &mut dyn Write) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" }
         );
         for (name, value) in &self.extra_headers {
             head.push_str(name);
@@ -318,6 +368,51 @@ mod tests {
         assert!(s.contains("content-length: 9\r\n"));
         assert!(s.contains("retry-after: 1\r\n"));
         assert!(s.ends_with("\r\n\r\nslow down"));
+    }
+
+    #[test]
+    fn pipelined_requests_carry_over_and_clean_eof_is_none() {
+        let raw = b"POST /a HTTP/1.1\r\nConnection: keep-alive\r\nContent-Length: 3\r\n\r\nabcPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy".to_vec();
+        let mut cursor = std::io::Cursor::new(raw);
+        let mut carry = Vec::new();
+        let first = HttpRequest::read_from_buffered(&mut cursor, &mut carry)
+            .expect("first")
+            .expect("some");
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"abc");
+        assert!(first.wants_keep_alive());
+        assert!(!carry.is_empty(), "second request buffered in carry");
+        let second = HttpRequest::read_from_buffered(&mut cursor, &mut carry)
+            .expect("second")
+            .expect("some");
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"xy");
+        assert!(!second.wants_keep_alive(), "no connection header = close");
+        // Clean EOF between requests is the keep-alive loop's normal end.
+        assert_eq!(
+            HttpRequest::read_from_buffered(&mut cursor, &mut carry)
+                .expect("clean eof")
+                .map(|r| r.path),
+            None
+        );
+    }
+
+    #[test]
+    fn response_announces_keep_alive_when_asked() {
+        let mut out = Vec::new();
+        HttpResponse::text(200, "ok")
+            .with_close(false)
+            .write_to(&mut out)
+            .expect("write");
+        let s = String::from_utf8(out).expect("utf8");
+        assert!(s.contains("connection: keep-alive\r\n"));
+        let mut out = Vec::new();
+        HttpResponse::text(200, "ok")
+            .write_to(&mut out)
+            .expect("write");
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("connection: close\r\n"));
     }
 
     #[test]

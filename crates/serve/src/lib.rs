@@ -3,12 +3,18 @@
 //! the in-process query cache into a service with a measurable
 //! requests/sec story.
 //!
-//! * **Endpoints** — `POST /v1/select`, `/v1/count`, `/v1/update` (and
-//!   the kind-agnostic `/v1/query`) speak the `geoblocks::api` wire
-//!   codec: the request body is `encode_request` bytes, the response
-//!   body is `encode_reply` bytes, and the HTTP status is the total
-//!   `GbError::http_status` mapping. `GET /metrics` and `GET /healthz`
-//!   are plain text.
+//! * **Endpoints** — `POST /v1/select`, `/v1/count`, `/v1/update`,
+//!   `/v1/batch` (and the kind-agnostic `/v1/query`) speak the
+//!   `geoblocks::api` wire codec: the request body is `encode_request`
+//!   bytes, the response body is `encode_reply` bytes, and the HTTP
+//!   status is the total `GbError::http_status` mapping. `GET /metrics`
+//!   and `GET /healthz` are plain text. Batches execute covering-shared
+//!   over the engine's worker pool (see
+//!   [`geoblocks::GeoBlockEngine::query_batch`]).
+//! * **Keep-alive** — a client sending `Connection: keep-alive` may
+//!   issue many requests on one TCP connection, bounded by an idle
+//!   timeout and a per-connection request cap (see [`ServeConfig`]);
+//!   everyone else gets the one-shot close behavior unchanged.
 //! * **Result cache** — replies for SELECT/COUNT are cached by query
 //!   shape (wire-hash of polygon + spec, mixed with the server's filter
 //!   key), bounded by TTL and capacity, and validated against the
@@ -60,6 +66,12 @@ pub struct ServeConfig {
     /// Label of the filter this engine was built under; mixed into every
     /// cache key so differently-filtered deployments never share entries.
     pub filter_label: String,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_idle: Duration,
+    /// Requests served on one kept-alive connection before the server
+    /// closes it (bounds how long one peer can monopolize a worker).
+    pub keep_alive_max_requests: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +83,8 @@ impl Default for ServeConfig {
             quota_burst: 256.0,
             quota_per_sec: 0.0,
             filter_label: "all".to_string(),
+            keep_alive_idle: Duration::from_secs(5),
+            keep_alive_max_requests: 256,
         }
     }
 }
@@ -89,15 +103,42 @@ pub struct GbServer {
 }
 
 impl GbServer {
-    /// Wrap `engine` with the serving state from `config`.
+    /// Wrap `engine` with the serving state from `config`. If the engine
+    /// was restored from a snapshot carrying hot-query statistics, those
+    /// shapes are replayed here — the result cache answers the first real
+    /// dashboard paint from warm entries instead of recomputing.
     pub fn new(engine: Arc<GeoBlockEngine>, config: ServeConfig) -> GbServer {
-        GbServer {
+        let server = GbServer {
             cache: ResultCache::new(config.cache_capacity, config.cache_ttl),
             metrics: Metrics::default(),
             quotas: QuotaTable::new(config.quota_burst, config.quota_per_sec),
             filter_key: gb_store::fnv1a64(config.filter_label.as_bytes()),
             engine,
             config,
+        };
+        server.warm_result_cache();
+        server
+    }
+
+    /// Replay the engine's persisted hot-query shapes through the normal
+    /// query path, populating the result cache (and, transitively, the
+    /// engine's covering memo). Best-effort: undecodable or failing
+    /// shapes are skipped.
+    fn warm_result_cache(&self) {
+        if self.config.cache_capacity == 0 {
+            return;
+        }
+        for bytes in self.engine.warm_requests() {
+            let Ok(req) = api::decode_request(&bytes) else {
+                continue;
+            };
+            let Some(key) = api::request_cache_key(&req, self.filter_key) else {
+                continue;
+            };
+            if let Ok(reply) = self.engine.query(&req) {
+                let epoch = reply.epoch();
+                self.cache.insert(key, api::encode_reply(&Ok(reply)), epoch);
+            }
         }
     }
 
@@ -145,6 +186,13 @@ impl GbServer {
                     self.cache.len(),
                     self.engine.data_epoch(),
                     self.engine.cache_epoch(),
+                    {
+                        let m = self.engine.metrics();
+                        geoblocks::MemoStats {
+                            hits: m.covering_memo_hits,
+                            misses: m.covering_memo_misses,
+                        }
+                    },
                 ),
             ),
             ("POST", "/v1/query") => self.admitted(req, |r| self.query_endpoint(r, None)),
@@ -157,9 +205,13 @@ impl GbServer {
             ("POST", "/v1/update") => {
                 self.admitted(req, |r| self.query_endpoint(r, Some(Kind::Update)))
             }
+            ("POST", "/v1/batch") => {
+                self.admitted(req, |r| self.query_endpoint(r, Some(Kind::Batch)))
+            }
             (
                 _,
-                "/healthz" | "/metrics" | "/v1/query" | "/v1/select" | "/v1/count" | "/v1/update",
+                "/healthz" | "/metrics" | "/v1/query" | "/v1/select" | "/v1/count" | "/v1/update"
+                | "/v1/batch",
             ) => self.error_response(GbError::Serve(ServeError::MethodNotAllowed(format!(
                 "{} {}",
                 req.method, req.path
@@ -214,7 +266,14 @@ impl GbServer {
             }
         }
 
-        let outcome = self.engine.query(&parsed);
+        // Batches fan out over the engine's worker pool; everything else
+        // executes inline on this connection's thread.
+        let outcome = match &parsed {
+            QueryRequest::Batch { requests } => {
+                self.engine.query_batch(requests, self.config.threads)
+            }
+            _ => self.engine.query(&parsed),
+        };
         let body = api::encode_reply(&outcome);
         match outcome {
             Ok(reply) => {
@@ -267,20 +326,34 @@ impl GbServer {
         Ok(())
     }
 
-    /// Read one request, answer it, close. Transport errors get a
-    /// best-effort 400/500 and never propagate (a broken peer must not
+    /// Serve requests from one connection until the peer closes, stops
+    /// asking for keep-alive, goes idle past the configured timeout, or
+    /// hits the per-connection request cap. Transport errors get a
+    /// best-effort 400/413 and never propagate (a broken peer must not
     /// take a worker down).
     fn serve_connection(&self, mut stream: TcpStream) {
         let _ = stream.set_nonblocking(false);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let idle = self.config.keep_alive_idle.max(Duration::from_millis(1));
+        let _ = stream.set_read_timeout(Some(idle));
         let _ = stream.set_nodelay(true);
-        let response = match HttpRequest::read_from(&mut stream) {
-            Ok(req) => self.handle(&req),
-            Err(http::HttpError::TooLarge(m)) => HttpResponse::text(413, m),
-            Err(http::HttpError::Malformed(m)) => HttpResponse::text(400, m),
-            Err(http::HttpError::Io(_)) => return, // peer vanished; nothing to answer
-        };
-        let _ = response.write_to(&mut stream);
+        let max_requests = self.config.keep_alive_max_requests.max(1);
+        let mut carry = Vec::new();
+        for served in 1..=max_requests {
+            let response = match HttpRequest::read_from_buffered(&mut stream, &mut carry) {
+                Ok(Some(req)) => {
+                    let keep = req.wants_keep_alive() && served < max_requests;
+                    self.handle(&req).with_close(!keep)
+                }
+                Ok(None) => break, // peer closed cleanly between requests
+                Err(http::HttpError::TooLarge(m)) => HttpResponse::text(413, m),
+                Err(http::HttpError::Malformed(m)) => HttpResponse::text(400, m),
+                Err(http::HttpError::Io(_)) => break, // peer vanished or idled out
+            };
+            let close = response.close;
+            if response.write_to(&mut stream).is_err() || close {
+                break;
+            }
+        }
         let _ = stream.shutdown(std::net::Shutdown::Both);
     }
 }
@@ -291,6 +364,7 @@ enum Kind {
     Select,
     Count,
     Update,
+    Batch,
 }
 
 impl Kind {
@@ -299,6 +373,7 @@ impl Kind {
             QueryRequest::Select { .. } => Kind::Select,
             QueryRequest::Count { .. } => Kind::Count,
             QueryRequest::Update { .. } => Kind::Update,
+            QueryRequest::Batch { .. } => Kind::Batch,
         }
     }
 
@@ -307,6 +382,7 @@ impl Kind {
             Kind::Select => "select",
             Kind::Count => "count",
             Kind::Update => "update",
+            Kind::Batch => "batch",
         }
     }
 }

@@ -15,6 +15,7 @@ const ROUTES: &[&str] = &[
     "/v1/select",
     "/v1/count",
     "/v1/update",
+    "/v1/batch",
     "/metrics",
     "/healthz",
 ];
@@ -79,7 +80,7 @@ impl LatencyHistogram {
 /// All server counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    route_hits: [Counter; 6],
+    route_hits: [Counter; 7],
     route_other: Counter,
     status_2xx: Counter,
     status_4xx: Counter,
@@ -131,6 +132,7 @@ impl Metrics {
         cache_len: usize,
         data_epoch: u64,
         cache_epoch: u64,
+        memo: geoblocks::MemoStats,
     ) -> String {
         let mut out = String::with_capacity(1024);
         for (i, route) in ROUTES.iter().enumerate() {
@@ -168,6 +170,8 @@ impl Metrics {
             "gb_result_cache_evictions_total {}\n",
             cache.evictions
         ));
+        out.push_str(&format!("gb_covering_memo_hits_total {}\n", memo.hits));
+        out.push_str(&format!("gb_covering_memo_misses_total {}\n", memo.misses));
         out.push_str(&format!("gb_data_epoch {data_epoch}\n"));
         out.push_str(&format!("gb_trie_cache_epoch {cache_epoch}\n"));
         out.push_str(&format!(
@@ -242,7 +246,7 @@ mod tests {
             insertions: 1,
             evictions: 0,
         };
-        let text = m.render(&cache, 2, 5, 9);
+        let text = m.render(&cache, 2, 5, 9, geoblocks::MemoStats { hits: 4, misses: 2 });
         assert_eq!(
             scrape(&text, "gb_requests_total{route=\"/v1/select\"}"),
             Some(2.0)
@@ -254,6 +258,8 @@ mod tests {
         assert_eq!(scrape(&text, "gb_result_cache_hits_total"), Some(3.0));
         assert_eq!(scrape(&text, "gb_result_cache_hit_rate"), Some(0.75));
         assert_eq!(scrape(&text, "gb_data_epoch"), Some(5.0));
+        assert_eq!(scrape(&text, "gb_covering_memo_hits_total"), Some(4.0));
+        assert_eq!(scrape(&text, "gb_covering_memo_misses_total"), Some(2.0));
         assert_eq!(scrape(&text, "gb_quota_rejections_total"), Some(1.0));
         assert_eq!(scrape(&text, "gb_nonexistent"), None);
         assert_eq!(m.total_requests(), 4);

@@ -218,6 +218,137 @@ fn http_error_mapping_over_sockets() {
     running.stop();
 }
 
+/// The batch route over real sockets: one POST to `/v1/batch` answers
+/// every item bit-identically to individual engine calls, at one pinned
+/// epoch, and the route shows up in /metrics.
+#[test]
+fn batch_over_http_matches_engine() {
+    let running = start_server(ServeConfig {
+        threads: 4,
+        quota_per_sec: 0.0,
+        ..ServeConfig::default()
+    });
+    let addr = running.addr();
+    let engine = Arc::clone(running.server().engine());
+    let s = spec();
+
+    let requests: Vec<QueryRequest> = (0..6)
+        .map(|i| {
+            if i % 2 == 0 {
+                QueryRequest::Select {
+                    polygon: polygon(i),
+                    spec: s.clone(),
+                }
+            } else {
+                QueryRequest::Count {
+                    polygon: polygon(i),
+                }
+            }
+        })
+        .collect();
+    let reply = client::post_query(
+        addr,
+        "/v1/batch",
+        Some("e2e"),
+        &QueryRequest::Batch {
+            requests: requests.clone(),
+        },
+    )
+    .expect("batch over HTTP");
+    let QueryReply::Batch(outer) = reply else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(outer.result.len(), requests.len());
+    let bits =
+        |r: &geoblocks::AggResult| r.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    for (req, item) in requests.iter().zip(&outer.result) {
+        assert_eq!(
+            item.epoch(),
+            outer.epoch,
+            "items must share the pinned epoch"
+        );
+        match (req, item) {
+            (QueryRequest::Select { polygon, spec }, QueryReply::Select(got)) => {
+                let want = engine.select(polygon, spec);
+                assert_eq!(bits(&got.result), bits(&want.result), "select diverged");
+            }
+            (QueryRequest::Count { polygon }, QueryReply::Count(got)) => {
+                assert_eq!(got.result, engine.count(polygon).result, "count diverged");
+            }
+            (req, item) => panic!("variant mismatch: {req:?} vs {item:?}"),
+        }
+    }
+
+    // An update inside a batch must be rejected whole, naming the item.
+    let bad = client::post_query(
+        addr,
+        "/v1/batch",
+        Some("e2e"),
+        &QueryRequest::Batch {
+            requests: vec![QueryRequest::Update {
+                batch: UpdateBatch::new(),
+            }],
+        },
+    );
+    assert!(bad.is_err(), "update inside a batch must be rejected");
+
+    let text =
+        String::from_utf8(client::get(addr, "/metrics").expect("metrics").body).expect("utf8");
+    assert!(
+        metrics::scrape(&text, "gb_requests_total{route=\"/v1/batch\"}").is_some_and(|v| v >= 1.0),
+        "batch route must be counted:\n{text}"
+    );
+    running.stop();
+}
+
+/// Keep-alive over real sockets: one [`client::Connection`] serves many
+/// requests on a single TCP stream with answers identical to one-shot
+/// clients, and the server closes after its per-connection request cap.
+#[test]
+fn keep_alive_reuses_one_connection() {
+    let running = start_server(ServeConfig {
+        threads: 2,
+        quota_per_sec: 0.0,
+        keep_alive_max_requests: 8,
+        ..ServeConfig::default()
+    });
+    let addr = running.addr();
+    let engine = Arc::clone(running.server().engine());
+
+    let mut conn = client::Connection::connect(addr).expect("connect");
+    for i in 0..8 {
+        let poly = polygon(i);
+        let want = engine.count(&poly);
+        match conn
+            .post_query(
+                "/v1/count",
+                Some("e2e"),
+                &QueryRequest::Count { polygon: poly },
+            )
+            .expect("keep-alive count")
+        {
+            QueryReply::Count(got) => {
+                assert_eq!(got.result, want.result, "request {i} diverged");
+            }
+            other => panic!("wrong reply kind: {other:?}"),
+        }
+    }
+    // Request 8 hit the cap, so the server announced `connection: close`
+    // and hung up; the next call on the same stream surfaces an error.
+    let after_cap = conn.post_query(
+        "/v1/count",
+        Some("e2e"),
+        &QueryRequest::Count {
+            polygon: polygon(0),
+        },
+    );
+    assert!(
+        after_cap.is_err(),
+        "connection must be closed after keep_alive_max_requests"
+    );
+    running.stop();
+}
+
 /// Admission control over sockets: a bursty tenant gets 429 + Retry-After
 /// while a second tenant stays admitted.
 #[test]
