@@ -11,7 +11,7 @@
 //!
 //!   experiments: fig10 fig11a fig11b fig11c table2 fig12 fig13 fig14
 //!                fig15 fig16 fig17 fig18 fig19 scale-threads persist
-//!                serve-bench all
+//!                serve-bench trace-report all
 //!   --scale F      multiply dataset sizes (default 1.0; 30 ≈ paper scale)
 //!   --seed N       master RNG seed (default 42)
 //!   --write PATH   also append the markdown reports to PATH
@@ -39,7 +39,7 @@ use gb_bench::Ctx;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|scale-threads|persist|serve|serve-bench|all> \
+        "usage: repro <fig10|fig11a|fig11b|fig11c|table2|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|scale-threads|persist|serve|serve-bench|trace-report|all> \
          [--scale F] [--seed N] [--write PATH] [--threads LIST] [--clients N] [--addr A] [--json PATH]"
     );
     std::process::exit(2);
@@ -157,6 +157,11 @@ fn run() -> Result<(), String> {
             bench_records = recs;
             vec![rep]
         }
+        "trace-report" => {
+            let (rep, recs) = experiments::trace_report(&ctx)?;
+            bench_records = recs;
+            vec![rep]
+        }
         "all" => {
             let (reps, recs) = experiments::all(&ctx)?;
             bench_records = recs;
@@ -219,7 +224,7 @@ fn serve_foreground(ctx: &Ctx, addr: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot start server on {addr}: {e}"))?;
     eprintln!("# serving on http://{}", running.addr());
     eprintln!("#   POST /v1/select /v1/count /v1/update /v1/query (wire bodies)");
-    eprintln!("#   GET  /metrics /healthz");
+    eprintln!("#   GET  /metrics /healthz /v1/debug/traces /v1/debug/slow");
     eprintln!("# ctrl-c to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

@@ -1,0 +1,102 @@
+//! A fixed-bucket (log2) latency histogram over nanoseconds.
+//!
+//! Promoted out of `gb_serve::metrics` so the per-stage tracer
+//! (`gb_trace`) and the server's request-latency metric share one
+//! implementation. Everything is lock-free [`Counter`]s, so recording
+//! costs a handful of relaxed `fetch_add`s. The 64 power-of-two buckets
+//! cover 1 ns to ~584 years; quantiles are estimated by bucket upper
+//! bounds, which is exactly the fidelity a p99 gate needs (within 2× of
+//! truth).
+
+use crate::stats::Counter;
+
+/// A fixed-bucket (log2) latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<Counter>,
+    count: Counter,
+    sum_ns: Counter,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..64).map(|_| Counter::new()).collect(),
+            count: Counter::new(),
+            sum_ns: Counter::new(),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, ns: u64) {
+        let bucket = (64 - ns.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
+        if let Some(b) = self.buckets.get(bucket) {
+            b.incr();
+        }
+        self.count.incr();
+        self.sum_ns.add(ns);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Total of every recorded observation in nanoseconds — the
+    /// numerator for self-time shares (`gb_stage_share`).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.get()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.get().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0..=1.0).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.get();
+            if seen >= rank {
+                return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1000); // bucket 2^10
+        }
+        h.record(1_000_000); // one slow outlier, bucket 2^20
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ns(0.5), 1024);
+        assert_eq!(h.quantile_ns(0.99), 1024);
+        assert_eq!(h.quantile_ns(1.0), 1 << 20);
+        assert!(h.mean_ns() >= 1000);
+        assert_eq!(h.sum_ns(), 99 * 1000 + 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.sum_ns(), 0);
+    }
+}

@@ -28,9 +28,13 @@
 //! * [`stats`] — relaxed event counters ([`stats::Counter`]), the one
 //!   blessed home for `Ordering::Relaxed` (see the `gb_lint`
 //!   `atomic-ordering` rule).
+//! * [`hist`] — the lock-free log2 [`LatencyHistogram`] shared by the
+//!   serve-layer request-latency metric and the per-stage tracer
+//!   (`gb_trace`).
 
 pub mod fmt;
 pub mod fxhash;
+pub mod hist;
 pub mod pool;
 pub mod rng;
 pub mod stats;
@@ -38,6 +42,7 @@ pub mod sync;
 pub mod timer;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hist::LatencyHistogram;
 pub use pool::{default_threads, spawn_join, Pool};
 pub use stats::Counter;
 pub use sync::{OrderedMutex, OrderedRwLock};

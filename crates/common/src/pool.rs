@@ -16,9 +16,50 @@
 //! for small inputs and the reference semantics the parallel paths are
 //! tested against.
 
+use crate::stats::Counter;
 use crate::sync::backend::{Backend, MutexApi, StdBackend};
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-wide pool observability counters. They are statics rather
+/// than `Pool` fields because `Pool` is a throwaway `Copy` handle — the
+/// interesting population is "all fork-join work in this process",
+/// which is what `/metrics` wants to export (`gb_pool_*`) and what the
+/// tracer's `PoolWait` spans need as a denominator.
+static POOL_QUEUED: Counter = Counter::new();
+static POOL_FINISHED: Counter = Counter::new();
+static POOL_TASKS: Counter = Counter::new();
+static POOL_BUSY_NS: Counter = Counter::new();
+
+/// Snapshot of the process-wide pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks queued but not yet finished (a gauge; 0 when idle).
+    pub queue_depth: u64,
+    /// Tasks executed to completion since process start.
+    pub tasks_total: u64,
+    /// Cumulative wall-clock nanoseconds workers spent executing tasks
+    /// (inline runs count the caller's loop). Sums across workers, so it
+    /// can exceed elapsed wall time.
+    pub busy_ns_total: u64,
+}
+
+/// Current pool counters. `queue_depth` is computed as
+/// queued − finished, so a snapshot taken mid-`run` shows the in-flight
+/// backlog without any extra synchronization on the hot path.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        queue_depth: POOL_QUEUED.get().saturating_sub(POOL_FINISHED.get()),
+        tasks_total: POOL_TASKS.get(),
+        busy_ns_total: POOL_BUSY_NS.get(),
+    }
+}
+
+/// Saturating `Duration → u64` nanoseconds.
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
 
 /// Outcome of one [`TaskQueue::pop`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,8 +235,14 @@ impl Pool {
         if n_tasks == 0 {
             return Vec::new();
         }
+        POOL_QUEUED.add(n_tasks as u64);
         if self.threads == 1 || n_tasks == 1 {
-            return (0..n_tasks).map(f).collect();
+            let start = Instant::now();
+            let out: Vec<R> = (0..n_tasks).map(&f).collect();
+            POOL_BUSY_NS.add(elapsed_ns(start));
+            POOL_TASKS.add(n_tasks as u64);
+            POOL_FINISHED.add(n_tasks as u64);
+            return out;
         }
 
         // The model-checked task-queue kernel, pre-filled with every
@@ -216,10 +263,14 @@ impl Pool {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let start = Instant::now();
                     queue.drain(|i| {
                         let r = f(i);
                         slots.lock().expect("slot lock")[i] = Some(r);
+                        POOL_TASKS.incr();
+                        POOL_FINISHED.incr();
                     });
+                    POOL_BUSY_NS.add(elapsed_ns(start));
                 });
             }
         });
@@ -359,5 +410,17 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_stats_count_executed_tasks() {
+        // The counters are process-wide and other tests run concurrently,
+        // so assert on deltas only.
+        let before = stats();
+        Pool::new(1).run(5, |i| i); // inline path
+        Pool::new(3).run(8, |i| i); // threaded path
+        let after = stats();
+        assert!(after.tasks_total >= before.tasks_total + 13);
+        assert!(after.busy_ns_total >= before.busy_ns_total);
     }
 }

@@ -51,6 +51,16 @@ impl Counter {
     pub fn reset(&self) {
         self.0.store(0, Ordering::Relaxed);
     }
+
+    /// Count one event and return the tally *before* this increment — a
+    /// relaxed ticket dispenser. Used by the tracer's sampling gate
+    /// (`ticket % rate == 0`) and ring-shard rotation, where the only
+    /// requirement is that concurrent callers get distinct tickets, not
+    /// that tickets observe any cross-thread order.
+    #[inline]
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -66,6 +76,14 @@ mod tests {
         assert_eq!(c.get(), 42);
         c.reset();
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn next_returns_pre_increment_tickets() {
+        let c = Counter::new();
+        assert_eq!(c.next(), 0);
+        assert_eq!(c.next(), 1);
+        assert_eq!(c.get(), 2);
     }
 
     #[test]

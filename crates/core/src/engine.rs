@@ -40,7 +40,7 @@ use crate::aggregate::AggResult;
 use crate::api::{GbError, QueryReply, QueryRequest, QueryResponse};
 use crate::block::GeoBlock;
 use crate::kernel::PublishKernel;
-use crate::memo::{CoveringMemo, HotQueryTable};
+use crate::memo::{CoveringMemo, HotQueryTable, MemoStats};
 use crate::qc::{self, CacheMetrics, RebuildPolicy};
 use crate::query::QueryStats;
 use crate::snapshot::{Snapshot, SnapshotError};
@@ -52,6 +52,7 @@ use gb_common::{Counter, FxHashMap, Pool};
 use gb_data::{AggSpec, DataError, Filter};
 use gb_geom::Polygon;
 use gb_store::fnv1a64;
+use gb_trace::{Stage, TraceStats, Tracer};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -126,6 +127,18 @@ pub struct GeoBlockEngine {
     /// Hottest encoded Select/Count requests, persisted into snapshots
     /// (`HOTQ`) so restarts warm the memo and the serve result cache.
     hot_queries: OrderedMutex<HotQueryTable>,
+    /// Per-stage tracing hub, shared with the serve layer. Defaults to
+    /// the env-configured sampler (`GB_TRACE_SAMPLE` / `GB_SLOW_US`).
+    tracer: Arc<Tracer>,
+}
+
+/// Bridge the engine's [`QueryStats`] into the tracer's mirror type.
+fn trace_stats(stats: &QueryStats) -> TraceStats {
+    TraceStats {
+        query_cells: stats.query_cells as u64,
+        cells_combined: stats.cells_combined as u64,
+        searches: stats.searches as u64,
+    }
 }
 
 impl GeoBlockEngine {
@@ -170,6 +183,7 @@ impl GeoBlockEngine {
                 RANK_SHARD,
                 HotQueryTable::new(HOT_TABLE_CAPACITY),
             ),
+            tracer: Arc::new(Tracer::from_env()),
         }
     }
 
@@ -179,6 +193,20 @@ impl GeoBlockEngine {
     pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
         self.memo = CoveringMemo::new(capacity);
         self
+    }
+
+    /// Replace the tracer (builder-time only). Tests and the bench
+    /// harness construct explicit [`gb_trace::TraceConfig`]s instead of
+    /// relying on process-global env vars.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The engine's tracing hub — the serve layer shares this `Arc` for
+    /// its own request spans, `/metrics` export, and debug endpoints.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Set the automatic rebuild policy. With `EveryN(n)`, the thread
@@ -251,6 +279,19 @@ impl GeoBlockEngine {
         self.memo.len()
     }
 
+    /// Full covering-memo counter snapshot (hits, misses, evictions,
+    /// invalidations) — what `/metrics` exports.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
+    /// Drop every memoized covering (the grid/level-reconfiguration
+    /// hook; see [`CoveringMemo::invalidate_all`]). Returns how many
+    /// entries were invalidated.
+    pub fn invalidate_coverings(&self) -> usize {
+        self.memo.invalidate_all()
+    }
+
     /// The canonical typed entry point: validate `req` against the
     /// schema, execute it, and wrap the result with its stats and epoch.
     /// The HTTP layer (`gb_serve`) is a thin shell around this method.
@@ -308,18 +349,33 @@ impl GeoBlockEngine {
     /// memo. The memo lock is never held while covering: a miss computes
     /// outside the lock and inserts afterwards.
     fn covering_for(&self, block: &GeoBlock, polygon: &Polygon) -> Arc<CellUnion> {
+        let span = self.tracer.span(Stage::CoveringResolve);
         let verify = gb_cell::normalized_vertex_bits(polygon);
         let key = gb_cell::cover_key_from_bits(&verify, block.level());
-        self.memo
-            .get_or_insert_with(key, &verify, || block.cover(polygon))
+        let (covering, hit) = self
+            .memo
+            .get_or_insert_with_hit(key, &verify, || block.cover(polygon));
+        drop(span);
+        if hit {
+            self.tracer.flag(gb_trace::FLAG_MEMO_HIT);
+        }
+        covering
     }
 
     /// COUNT passes straight through to the block (no trie cache, §3.6 —
     /// but the covering is memoized like SELECT's).
     pub fn count(&self, polygon: &Polygon) -> QueryResponse<u64> {
+        let _req = self.tracer.begin_request("count");
         let state = self.state_snapshot();
         let covering = self.covering_for(&state.block, polygon);
+        // COUNT's aggregation is a prefix-count difference per covering
+        // cell — O(1) folds like the pyramid tier, so it shares the
+        // `PyramidCombine` stage.
+        let span = self.tracer.span(Stage::PyramidCombine);
         let (count, stats) = state.block.count_covering(&covering);
+        drop(span);
+        self.tracer.note_stats(trace_stats(&stats));
+        self.tracer.note_epoch(state.data_epoch);
         QueryResponse::new(count, stats, state.data_epoch)
     }
 
@@ -327,11 +383,14 @@ impl GeoBlockEngine {
     /// number of threads concurrently (including during rebuilds and
     /// update commits — the query runs entirely on its pinned epoch).
     pub fn select(&self, polygon: &Polygon, spec: &AggSpec) -> QueryResponse<AggResult> {
+        let _req = self.tracer.begin_request("select");
         // Pin this query to the current epoch's (block, trie) pair; the
         // read lock is released before any work happens.
         let state = self.state_snapshot();
         let covering = self.covering_for(&state.block, polygon);
         let response = self.select_on(&state, &covering, spec);
+        self.tracer.note_stats(trace_stats(&response.stats));
+        self.tracer.note_epoch(state.data_epoch);
         self.after_selects(1);
         response
     }
@@ -346,6 +405,9 @@ impl GeoBlockEngine {
         spec: &AggSpec,
     ) -> QueryResponse<AggResult> {
         let mut metrics = CacheMetrics::default();
+        // The accumulator is a pure observer: when the thread is not
+        // sampled it is disarmed and `select_adapted` runs untouched.
+        let mut acc = self.tracer.stage_acc();
         let (result, stats) = qc::select_adapted(
             &state.block,
             &state.trie,
@@ -356,7 +418,9 @@ impl GeoBlockEngine {
                 *shard.entry(raw).or_insert(0) += 1;
             },
             &mut metrics,
+            &mut acc,
         );
+        self.tracer.absorb(acc);
         self.probes.add(metrics.probes);
         self.direct_hits.add(metrics.direct_hits);
         self.child_hits.add(metrics.child_hits);
@@ -398,6 +462,7 @@ impl GeoBlockEngine {
         requests: &[QueryRequest],
         threads: usize,
     ) -> Result<QueryReply, GbError> {
+        let _req = self.tracer.begin_request("batch");
         // Validate everything up front: a batch fails whole, with the
         // offending item named, before any work happens.
         for (i, req) in requests.iter().enumerate() {
@@ -424,6 +489,7 @@ impl GeoBlockEngine {
         // One covering per distinct polygon content: group by canonical
         // vertex stream (not just the 64-bit key, so a key collision
         // cannot alias two polygons), covering through the memo.
+        let cover_span = self.tracer.span(Stage::CoveringResolve);
         let mut distinct: FxHashMap<Vec<u64>, Arc<CellUnion>> = FxHashMap::default();
         let coverings: Vec<Arc<CellUnion>> = requests
             .iter()
@@ -448,6 +514,7 @@ impl GeoBlockEngine {
                     .clone()
             })
             .collect();
+        drop(cover_span);
 
         let eval = |i: usize| -> QueryReply {
             let covering = coverings
@@ -466,7 +533,13 @@ impl GeoBlockEngine {
             }
         };
         let items: Vec<QueryReply> = if threads > 1 && requests.len() > 1 {
-            Pool::new(threads).run(requests.len(), eval)
+            // `PoolWait` covers the whole fan-out-to-join interval: the
+            // workers' per-stage time lands on their own (unsampled)
+            // threads, so the coordinating request sees it as pool time.
+            let span = self.tracer.span(Stage::PoolWait);
+            let items = Pool::new(threads).run(requests.len(), eval);
+            drop(span);
+            items
         } else {
             (0..requests.len()).map(eval).collect()
         };
@@ -478,6 +551,8 @@ impl GeoBlockEngine {
             stats.cells_combined += s.cells_combined;
             stats.searches += s.searches;
         }
+        self.tracer.note_stats(trace_stats(&stats));
+        self.tracer.note_epoch(state.data_epoch);
         let n_selects = requests
             .iter()
             .filter(|r| matches!(r, QueryRequest::Select { .. }))
@@ -503,6 +578,7 @@ impl GeoBlockEngine {
         &self,
         batch: &UpdateBatch,
     ) -> Result<QueryResponse<UpdateReport>, GbError> {
+        let _req = self.tracer.begin_request("update");
         let n_cols = self.block_snapshot().schema().len();
         for (i, (_, values)) in batch.rows.iter().enumerate() {
             if values.len() != n_cols {
@@ -532,6 +608,7 @@ impl GeoBlockEngine {
                 (report, epoch),
             )
         });
+        self.tracer.note_epoch(epoch);
         Ok(QueryResponse::new(report, QueryStats::default(), epoch))
     }
 

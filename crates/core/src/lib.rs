@@ -80,3 +80,7 @@ pub use query::QueryStats;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotRef, SNAPSHOT_VERSION};
 pub use trie::AggregateTrie;
 pub use update::{UpdateBatch, UpdateReport};
+
+/// Re-export of the tracing crate: the engine carries an
+/// `Arc<trace::Tracer>`, and callers configure it via [`trace::TraceConfig`].
+pub use gb_trace as trace;

@@ -46,11 +46,16 @@ struct MemoShard {
     seq: u64,
 }
 
-/// Hit/miss counts, surfaced through `CacheMetrics` and `/metrics`.
+/// Hit/miss/churn counts, surfaced through `CacheMetrics` and `/metrics`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries dropped by capacity eviction (oldest-first within a shard).
+    pub evictions: u64,
+    /// Entries dropped by [`CoveringMemo::invalidate_all`] — the explicit
+    /// grid/level-change hook; normal operation never invalidates.
+    pub invalidations: u64,
 }
 
 /// A sharded, capacity-bounded, never-invalidating covering memo.
@@ -60,6 +65,8 @@ pub struct CoveringMemo {
     shard_capacity: usize,
     hits: Counter,
     misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
 }
 
 impl CoveringMemo {
@@ -74,6 +81,8 @@ impl CoveringMemo {
             shard_capacity: capacity.div_ceil(MEMO_SHARDS),
             hits: Counter::new(),
             misses: Counter::new(),
+            evictions: Counter::new(),
+            invalidations: Counter::new(),
         }
     }
 
@@ -93,13 +102,28 @@ impl CoveringMemo {
     where
         F: FnOnce() -> CellUnion,
     {
+        self.get_or_insert_with_hit(key, verify, cover).0
+    }
+
+    /// Like [`CoveringMemo::get_or_insert_with`], also reporting whether
+    /// the covering came from the memo (`true`) or was computed (`false`)
+    /// — the per-request memo-hit flag the tracer records.
+    pub fn get_or_insert_with_hit<F>(
+        &self,
+        key: u64,
+        verify: &[u64],
+        cover: F,
+    ) -> (Arc<CellUnion>, bool)
+    where
+        F: FnOnce() -> CellUnion,
+    {
         if let Some(slot) = self.memo.get(Self::shard_index(key)) {
             {
                 let shard = slot.lock();
                 if let Some(entry) = shard.entries.get(&key) {
                     if entry.verify == verify {
                         self.hits.incr();
-                        return Arc::clone(&entry.covering);
+                        return (Arc::clone(&entry.covering), true);
                     }
                 }
             }
@@ -115,6 +139,7 @@ impl CoveringMemo {
                         .map(|(&k, _)| k)
                     {
                         shard.entries.remove(&oldest);
+                        self.evictions.incr();
                     }
                 }
                 let seq = shard.seq;
@@ -128,13 +153,30 @@ impl CoveringMemo {
                     },
                 );
             }
-            covering
+            (covering, false)
         } else {
             // Unreachable (MEMO_SHARDS > 0); compute without caching to
             // stay panic-free.
             self.misses.incr();
-            Arc::new(cover())
+            (Arc::new(cover()), false)
         }
+    }
+
+    /// Drop every memoized covering, counting the dropped entries as
+    /// invalidations. Coverings are pure functions of (polygon, grid,
+    /// level), so the engine never calls this during normal operation —
+    /// it is the explicit hook for grid/level reconfiguration paths and
+    /// ablation experiments, kept observable so `/metrics` can prove the
+    /// counter stays flat in production.
+    pub fn invalidate_all(&self) -> usize {
+        let mut dropped = 0usize;
+        for slot in &self.memo {
+            let mut shard = slot.lock();
+            dropped += shard.entries.len();
+            shard.entries.clear();
+        }
+        self.invalidations.add(dropped as u64);
+        dropped
     }
 
     /// Number of memoized coverings.
@@ -152,13 +194,18 @@ impl CoveringMemo {
         MemoStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
         }
     }
 
-    /// Zero the hit/miss counters (entries stay — they never go stale).
+    /// Zero the hit/miss/churn counters (entries stay — they never go
+    /// stale).
     pub fn reset_stats(&self) {
         self.hits.reset();
         self.misses.reset();
+        self.evictions.reset();
+        self.invalidations.reset();
     }
 }
 
@@ -271,7 +318,23 @@ mod tests {
         });
         assert_eq!(computes, 1);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(memo.stats(), MemoStats { hits: 1, misses: 1 });
+        assert_eq!(
+            memo.stats(),
+            MemoStats {
+                hits: 1,
+                misses: 1,
+                ..MemoStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn hit_flag_reports_memo_residency() {
+        let memo = CoveringMemo::new(16);
+        let (_, hit) = memo.get_or_insert_with_hit(1, &[10], || union(&[]));
+        assert!(!hit, "first lookup computes");
+        let (_, hit) = memo.get_or_insert_with_hit(1, &[10], || union(&[]));
+        assert!(hit, "second lookup is served by the memo");
     }
 
     #[test]
@@ -318,6 +381,33 @@ mod tests {
             union(&[])
         });
         assert!(computed);
+        assert!(
+            memo.stats().evictions >= 1,
+            "capacity eviction must be counted: {:?}",
+            memo.stats()
+        );
+    }
+
+    #[test]
+    fn invalidate_all_clears_and_counts() {
+        let memo = CoveringMemo::new(16);
+        for k in 0..5u64 {
+            memo.get_or_insert_with(k, &[k], || union(&[]));
+        }
+        assert_eq!(memo.len(), 5);
+        assert_eq!(memo.invalidate_all(), 5);
+        assert!(memo.is_empty());
+        assert_eq!(memo.stats().invalidations, 5);
+        // Entries really are gone: the next lookup recomputes.
+        let mut computed = false;
+        memo.get_or_insert_with(0, &[0], || {
+            computed = true;
+            union(&[])
+        });
+        assert!(computed);
+        // Counters survive entry invalidation and reset together.
+        memo.reset_stats();
+        assert_eq!(memo.stats(), MemoStats::default());
     }
 
     #[test]

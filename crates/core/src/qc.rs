@@ -20,6 +20,7 @@ use gb_cell::CellId;
 use gb_common::FxHashMap;
 use gb_data::{AggSpec, DataError};
 use gb_geom::Polygon;
+use gb_trace::{Stage, StageAcc};
 
 /// When the cache is (re)built from the hit statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +80,13 @@ pub(crate) fn root_cell_of(block: &GeoBlock) -> CellId {
 /// (§3.6 hit statistics); the single-threaded [`GeoBlockQC`] feeds a plain
 /// hash map, the concurrent engine feeds sharded maps. Factoring the
 /// algorithm out guarantees both paths answer queries identically.
+///
+/// `acc` attributes per-cell time to tracing stages (`TrieLookup` for
+/// cache probes, `PyramidCombine`/`ScanFallback` for residual combines).
+/// It is a pure observer — a disarmed accumulator (the [`GeoBlockQC`]
+/// reference path, or an unsampled request) runs the identical code with
+/// zero timing overhead, so traced and untraced execution are
+/// bit-identical by construction.
 pub(crate) fn select_adapted(
     block: &GeoBlock,
     trie: &AggregateTrie,
@@ -86,6 +94,7 @@ pub(crate) fn select_adapted(
     spec: &AggSpec,
     record_hit: &mut dyn FnMut(u64),
     metrics: &mut CacheMetrics,
+    acc: &mut StageAcc,
 ) -> (AggResult, QueryStats) {
     let plan = AggPlan::compile(spec);
     let mut result = AggResult::new(spec);
@@ -108,7 +117,7 @@ pub(crate) fn select_adapted(
 
         // Probe the cache — the hot lane resolves a cached cell straight
         // to its record, so the common case never touches the node array.
-        match probe.lookup(qcell) {
+        match acc.time(Stage::TrieLookup, || probe.lookup(qcell)) {
             FlatHit::Agg(agg) => {
                 // Fully cached: answer from the trie.
                 agg.combine_into(&plan, &mut result);
@@ -126,15 +135,17 @@ pub(crate) fn select_adapted(
                                 agg.combine_into(&plan, &mut result);
                                 used_child = true;
                             } else {
-                                block.combine_covering_cell(
-                                    child_cell,
-                                    spec,
-                                    &plan,
-                                    &mut scratch,
-                                    &mut result,
-                                    &mut stats,
-                                    &mut cursors,
-                                );
+                                acc.time(fallback_stage(block, &plan, child_cell), || {
+                                    block.combine_covering_cell(
+                                        child_cell,
+                                        spec,
+                                        &plan,
+                                        &mut scratch,
+                                        &mut result,
+                                        &mut stats,
+                                        &mut cursors,
+                                    )
+                                });
                             }
                         }
                         if used_child {
@@ -144,30 +155,47 @@ pub(crate) fn select_adapted(
                     }
                 }
                 // Node exists but nothing usable: base tiered path.
-                block.combine_covering_cell(
-                    qcell,
-                    spec,
-                    &plan,
-                    &mut scratch,
-                    &mut result,
-                    &mut stats,
-                    &mut cursors,
-                );
+                acc.time(fallback_stage(block, &plan, qcell), || {
+                    block.combine_covering_cell(
+                        qcell,
+                        spec,
+                        &plan,
+                        &mut scratch,
+                        &mut result,
+                        &mut stats,
+                        &mut cursors,
+                    )
+                });
             }
             FlatHit::Miss => {
-                block.combine_covering_cell(
-                    qcell,
-                    spec,
-                    &plan,
-                    &mut scratch,
-                    &mut result,
-                    &mut stats,
-                    &mut cursors,
-                );
+                acc.time(fallback_stage(block, &plan, qcell), || {
+                    block.combine_covering_cell(
+                        qcell,
+                        spec,
+                        &plan,
+                        &mut scratch,
+                        &mut result,
+                        &mut stats,
+                        &mut cursors,
+                    )
+                });
             }
         }
     }
     (result.finalize(spec), stats)
+}
+
+/// The tracing stage a tiered residual combine will execute under:
+/// cells below the block level are answered by the pyramid (tier 1) or,
+/// for sums-only plans, the O(1) prefix fold (tier 2) — both land in
+/// `PyramidCombine`; everything else scans block-level records. Mirrors
+/// the tier selection in `GeoBlock::combine_covering_cell`.
+fn fallback_stage(block: &GeoBlock, plan: &AggPlan, qcell: CellId) -> Stage {
+    if qcell.level() < block.level && (block.has_pyramid() || plan.sums_only()) {
+        Stage::PyramidCombine
+    } else {
+        Stage::ScanFallback
+    }
 }
 
 /// Score of a query cell: own hits plus parent hits (§3.6 "the score of a
@@ -441,6 +469,9 @@ impl GeoBlockQC {
             spec,
             &mut |raw| *hits.entry(raw).or_insert(0) += 1,
             metrics,
+            // The QC is the untraced reference: a disarmed accumulator
+            // keeps this path bit-identical and bookkeeping-free.
+            &mut StageAcc::inactive(),
         );
 
         self.queries_since_rebuild += 1;

@@ -226,3 +226,85 @@ proptest! {
         prop_assert_eq!(sel.count, cnt);
     }
 }
+
+// Tracing must be a pure observer: an engine with a sample-everything
+// tracer answers bit-identically to one with tracing disabled, for any
+// data, polygon set, and sample rate — and the recorded traces carry the
+// same QueryStats the responses report.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn traced_engine_is_bit_identical_to_untraced(
+        points in prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 50..250),
+        seed_sets in prop::collection::vec(
+            prop::collection::vec((0.0..DOMAIN, 0.0..DOMAIN), 3..8), 2..5),
+        sample_rate in 1u64..8,
+    ) {
+        use geoblocks::trace::{TraceConfig, Tracer};
+        use geoblocks::GeoBlockEngine;
+        use std::sync::Arc;
+
+        let polys: Vec<Polygon> = seed_sets.iter().filter_map(|s| make_polygon(s)).collect();
+        prop_assume!(!polys.is_empty());
+        let base = make_base(&points);
+        let (block, _) = build(&base, 8, &Filter::all());
+        let s = spec();
+
+        let untraced = GeoBlockEngine::new(block.clone(), 0.3)
+            .with_tracer(Arc::new(Tracer::disabled()));
+        let traced = GeoBlockEngine::new(block, 0.3).with_tracer(Arc::new(Tracer::new(
+            TraceConfig { sample_rate, slow_us: 0, ..TraceConfig::default() },
+        )));
+        let bits = |r: &AggResult| r.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        for poly in &polys {
+            let a = untraced.select(poly, &s);
+            let b = traced.select(poly, &s);
+            prop_assert_eq!(a.result.count, b.result.count);
+            prop_assert_eq!(bits(&a.result), bits(&b.result), "select diverged under tracing");
+            prop_assert_eq!(a.stats, b.stats);
+            prop_assert_eq!(a.epoch, b.epoch);
+
+            let ca = untraced.count(poly);
+            let cb = traced.count(poly);
+            prop_assert_eq!(ca.result, cb.result, "count diverged under tracing");
+            prop_assert_eq!(ca.stats, cb.stats);
+        }
+
+        // Batched execution too, sequential and pooled.
+        let requests: Vec<geoblocks::QueryRequest> = polys
+            .iter()
+            .map(|p| geoblocks::QueryRequest::Select { polygon: p.clone(), spec: s.clone() })
+            .collect();
+        for threads in [1usize, 2] {
+            let ra = untraced.query_batch(&requests, threads).unwrap();
+            let rb = traced.query_batch(&requests, threads).unwrap();
+            prop_assert_eq!(
+                geoblocks::api::encode_reply(&Ok(ra)),
+                geoblocks::api::encode_reply(&Ok(rb)),
+                "batch wire bytes diverged under tracing (threads={})",
+                threads
+            );
+        }
+
+        // The slow lane (zero threshold) captured every request, and each
+        // select trace's stats match a direct engine call for one of the
+        // query shapes (shapes are the only variation).
+        let slow = traced.tracer().slow_traces();
+        prop_assert!(slow.len() >= polys.len(), "slow lane missed requests");
+        let selects: Vec<_> = slow.iter().filter(|t| t.kind == "select").collect();
+        let all_stats: Vec<_> = polys
+            .iter()
+            .map(|p| untraced.select(p, &s).stats)
+            .collect();
+        for t in selects {
+            prop_assert!(
+                all_stats.iter().any(|st| st.query_cells as u64 == t.stats.query_cells
+                    && st.cells_combined as u64 == t.stats.cells_combined
+                    && st.searches as u64 == t.stats.searches),
+                "trace stats {:?} match no query shape", t.stats
+            );
+        }
+    }
+}

@@ -41,6 +41,7 @@ impl Config {
             panic_free: s(&[
                 "crates/store/src/",
                 "crates/serve/src/",
+                "crates/trace/src/",
                 "crates/core/src/api.rs",
                 "crates/core/src/snapshot.rs",
                 "crates/core/src/engine.rs",
@@ -73,6 +74,9 @@ impl Config {
                 ("queue".to_string(), 3),
                 ("entries".to_string(), 4),
                 ("buckets".to_string(), 4),
+                // Flight-recorder rings (gb_trace): leaf locks, never
+                // held across any other acquisition.
+                ("traces".to_string(), 4),
             ],
         }
     }
@@ -125,6 +129,7 @@ mod tests {
         let cfg = Config::workspace();
         assert!(cfg.is_panic_free("crates/store/src/lib.rs"));
         assert!(cfg.is_panic_free("crates/core/src/snapshot.rs"));
+        assert!(cfg.is_panic_free("crates/trace/src/lib.rs"));
         assert!(!cfg.is_panic_free("crates/core/src/block.rs"));
         assert!(cfg.is_float_blessed("crates/core/src/pyramid.rs"));
         assert!(cfg.is_spawn_blessed("crates/common/src/pool.rs"));
@@ -144,6 +149,7 @@ mod tests {
             cfg.lock_rank("rebuild_guard")
         );
         assert_eq!(cfg.lock_rank("entries"), cfg.lock_rank("buckets"));
+        assert_eq!(cfg.lock_rank("traces"), cfg.lock_rank("entries"));
         assert_eq!(cfg.lock_rank("memo"), cfg.lock_rank("shards"));
         assert_eq!(cfg.lock_rank("hot_queries"), cfg.lock_rank("shards"));
         assert!(cfg.lock_rank("memo") < cfg.lock_rank("state"));

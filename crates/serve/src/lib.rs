@@ -11,6 +11,11 @@
 //!   and `GET /healthz` are plain text. Batches execute covering-shared
 //!   over the engine's worker pool (see
 //!   [`geoblocks::GeoBlockEngine::query_batch`]).
+//! * **Tracing** — every query request runs under a `gb_trace` request
+//!   trace (sampled per `GB_TRACE_SAMPLE`): per-stage latency lands in
+//!   `/metrics` as `gb_stage_latency_ns`/`gb_stage_share`, and the last
+//!   traces are browsable at `GET /v1/debug/traces` with the always-kept
+//!   slow lane (`GB_SLOW_US`) at `GET /v1/debug/slow`.
 //! * **Keep-alive** — a client sending `Connection: keep-alive` may
 //!   issue many requests on one TCP connection, bounded by an idle
 //!   timeout and a per-connection request cap (see [`ServeConfig`]);
@@ -39,6 +44,7 @@ pub mod quota;
 
 use cache::ResultCache;
 use gb_common::Pool;
+use gb_trace::Stage;
 use geoblocks::api::{self, QueryRequest};
 use geoblocks::{GbError, GeoBlockEngine, ServeError};
 use http::{HttpRequest, HttpResponse};
@@ -167,7 +173,16 @@ impl GbServer {
     /// no I/O, so tests can drive the exact HTTP surface in-process.
     pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
         let start = Instant::now();
+        // The serve layer owns the request trace: the engine's own
+        // `begin_request` calls nest inside this one and stay inert, so
+        // quota/cache/serialize time lands on the same trace as the
+        // engine stages. Dropped (finalized) before metrics.record so
+        // the flight recorder sees the trace the moment the request is
+        // countable.
+        let trace =
+            trace_kind(&req.method, &req.path).map(|kind| self.engine.tracer().begin_request(kind));
         let resp = self.route(req);
+        drop(trace);
         self.metrics.record(
             &req.path,
             resp.status,
@@ -186,14 +201,16 @@ impl GbServer {
                     self.cache.len(),
                     self.engine.data_epoch(),
                     self.engine.cache_epoch(),
-                    {
-                        let m = self.engine.metrics();
-                        geoblocks::MemoStats {
-                            hits: m.covering_memo_hits,
-                            misses: m.covering_memo_misses,
-                        }
-                    },
+                    self.engine.memo_stats(),
+                    self.engine.tracer(),
                 ),
+            ),
+            ("GET", "/v1/debug/traces") => {
+                HttpResponse::text(200, gb_trace::render_traces(&self.engine.tracer().recent()))
+            }
+            ("GET", "/v1/debug/slow") => HttpResponse::text(
+                200,
+                gb_trace::render_traces(&self.engine.tracer().slow_traces()),
             ),
             ("POST", "/v1/query") => self.admitted(req, |r| self.query_endpoint(r, None)),
             ("POST", "/v1/select") => {
@@ -211,7 +228,7 @@ impl GbServer {
             (
                 _,
                 "/healthz" | "/metrics" | "/v1/query" | "/v1/select" | "/v1/count" | "/v1/update"
-                | "/v1/batch",
+                | "/v1/batch" | "/v1/debug/traces" | "/v1/debug/slow",
             ) => self.error_response(GbError::Serve(ServeError::MethodNotAllowed(format!(
                 "{} {}",
                 req.method, req.path
@@ -227,7 +244,10 @@ impl GbServer {
         f: impl FnOnce(&HttpRequest) -> HttpResponse,
     ) -> HttpResponse {
         let tenant = req.header("x-gb-tenant").unwrap_or("default");
-        match self.quotas.admit(tenant) {
+        let span = self.engine.tracer().span(Stage::Quota);
+        let admission = self.quotas.admit(tenant);
+        drop(span);
+        match admission {
             Admission::Admit => f(req),
             Admission::Reject { retry_after_ms } => self
                 .error_response(GbError::Serve(ServeError::QuotaExceeded {
@@ -259,9 +279,14 @@ impl GbServer {
         // Cache probe (SELECT/COUNT only — updates have no key). The
         // epoch read here also validates the entry: a reply computed at
         // an older data epoch never leaves the cache.
+        let tracer = self.engine.tracer();
         let key = api::request_cache_key(&parsed, self.filter_key);
         if let Some(key) = key {
-            if let Some(reply) = self.cache.get(key, self.engine.data_epoch()) {
+            let span = tracer.span(Stage::ResultCache);
+            let cached = self.cache.get(key, self.engine.data_epoch());
+            drop(span);
+            if let Some(reply) = cached {
+                tracer.flag(gb_trace::FLAG_CACHE_HIT);
                 return HttpResponse::binary(200, reply);
             }
         }
@@ -274,7 +299,9 @@ impl GbServer {
             }
             _ => self.engine.query(&parsed),
         };
+        let span = tracer.span(Stage::Serialize);
         let body = api::encode_reply(&outcome);
+        drop(span);
         match outcome {
             Ok(reply) => {
                 if let Some(key) = key {
@@ -389,6 +416,20 @@ impl Kind {
 
 fn serve_internal(msg: String) -> GbError {
     GbError::Serve(ServeError::Internal(msg))
+}
+
+/// The flight-recorder kind label for a request, `None` for routes that
+/// are not traced (health/metrics/debug — tracing the observability
+/// surface would pollute the recorder with scrape noise).
+fn trace_kind(method: &str, path: &str) -> Option<&'static str> {
+    match (method, path) {
+        ("POST", "/v1/query") => Some("query"),
+        ("POST", "/v1/select") => Some("select"),
+        ("POST", "/v1/count") => Some("count"),
+        ("POST", "/v1/update") => Some("update"),
+        ("POST", "/v1/batch") => Some("batch"),
+        _ => None,
+    }
 }
 
 /// A server running on a background thread, stopped explicitly or on

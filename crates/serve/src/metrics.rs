@@ -3,11 +3,17 @@
 //! Prometheus-style text exposition on `GET /metrics`.
 //!
 //! Everything is lock-free [`Counter`]s so the hot path pays a handful
-//! of relaxed `fetch_add`s. The histogram's 64 power-of-two buckets cover
+//! of relaxed `fetch_add`s. The histogram (now shared from `gb_common`
+//! with the per-stage tracer) uses 64 power-of-two buckets covering
 //! 1 ns to ~584 years; quantiles are estimated by bucket upper bounds,
 //! which is exactly the fidelity a p99 gate needs (within 2× of truth).
 
 use gb_common::Counter;
+use gb_trace::{Stage, Tracer};
+
+/// Re-export: the histogram lives in `gb_common::hist` so the tracer
+/// and the server share one implementation.
+pub use gb_common::LatencyHistogram;
 
 /// Routes tracked individually (everything else lands in `other`).
 const ROUTES: &[&str] = &[
@@ -16,71 +22,16 @@ const ROUTES: &[&str] = &[
     "/v1/count",
     "/v1/update",
     "/v1/batch",
+    "/v1/debug/traces",
+    "/v1/debug/slow",
     "/metrics",
     "/healthz",
 ];
 
-/// A fixed-bucket (log2) latency histogram over nanoseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: Vec<Counter>,
-    count: Counter,
-    sum_ns: Counter,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: (0..64).map(|_| Counter::new()).collect(),
-            count: Counter::new(),
-            sum_ns: Counter::new(),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one observation.
-    pub fn record(&self, ns: u64) {
-        let bucket = (64 - ns.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
-        if let Some(b) = self.buckets.get(bucket) {
-            b.incr();
-        }
-        self.count.incr();
-        self.sum_ns.add(ns);
-    }
-
-    /// Observations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.get()
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> u64 {
-        self.sum_ns.get().checked_div(self.count()).unwrap_or(0)
-    }
-
-    /// Upper bound of the bucket containing quantile `q` (0.0..=1.0).
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.get();
-            if seen >= rank {
-                return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
-            }
-        }
-        u64::MAX
-    }
-}
-
 /// All server counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    route_hits: [Counter; 7],
+    route_hits: [Counter; 9],
     route_other: Counter,
     status_2xx: Counter,
     status_4xx: Counter,
@@ -125,7 +76,9 @@ impl Metrics {
     }
 
     /// Render the Prometheus-style exposition. Cache and engine numbers
-    /// are passed in so this module stays dependency-free.
+    /// are passed in so this module stays decoupled from the engine;
+    /// pool gauges come from the process-wide `gb_common::pool`
+    /// counters, and per-stage latency families from the tracer.
     pub fn render(
         &self,
         cache: &crate::cache::CacheStats,
@@ -133,8 +86,9 @@ impl Metrics {
         data_epoch: u64,
         cache_epoch: u64,
         memo: geoblocks::MemoStats,
+        tracer: &Tracer,
     ) -> String {
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(4096);
         for (i, route) in ROUTES.iter().enumerate() {
             let n = self.route_hits.get(i).map_or(0, |c| c.get());
             out.push_str(&format!("gb_requests_total{{route=\"{route}\"}} {n}\n"));
@@ -172,6 +126,18 @@ impl Metrics {
         ));
         out.push_str(&format!("gb_covering_memo_hits_total {}\n", memo.hits));
         out.push_str(&format!("gb_covering_memo_misses_total {}\n", memo.misses));
+        out.push_str(&format!(
+            "gb_covering_memo_evictions_total {}\n",
+            memo.evictions
+        ));
+        out.push_str(&format!(
+            "gb_covering_memo_invalidations_total {}\n",
+            memo.invalidations
+        ));
+        let pool = gb_common::pool::stats();
+        out.push_str(&format!("gb_pool_queue_depth {}\n", pool.queue_depth));
+        out.push_str(&format!("gb_pool_tasks_total {}\n", pool.tasks_total));
+        out.push_str(&format!("gb_pool_busy_ns_total {}\n", pool.busy_ns_total));
         out.push_str(&format!("gb_data_epoch {data_epoch}\n"));
         out.push_str(&format!("gb_trie_cache_epoch {cache_epoch}\n"));
         out.push_str(&format!(
@@ -190,17 +156,56 @@ impl Metrics {
             "gb_request_latency_count {}\n",
             self.latency.count()
         ));
+        render_stages(&mut out, tracer);
         out
+    }
+}
+
+/// Per-stage latency families from the tracer's sampled histograms:
+/// `gb_stage_latency_ns{stage,quantile}`, `gb_stage_latency_count`, and
+/// `gb_stage_share` (each stage's fraction of total sampled stage time).
+fn render_stages(out: &mut String, tracer: &Tracer) {
+    let hists = tracer.histograms();
+    let total_ns: u64 = hists.iter().map(|h| h.sum_ns()).sum();
+    for stage in Stage::ALL {
+        let Some(h) = tracer.stage_histogram(stage) else {
+            continue;
+        };
+        let name = stage.name();
+        out.push_str(&format!(
+            "gb_stage_latency_ns{{stage=\"{name}\",quantile=\"0.5\"}} {}\n",
+            h.quantile_ns(0.5)
+        ));
+        out.push_str(&format!(
+            "gb_stage_latency_ns{{stage=\"{name}\",quantile=\"0.99\"}} {}\n",
+            h.quantile_ns(0.99)
+        ));
+        out.push_str(&format!(
+            "gb_stage_latency_count{{stage=\"{name}\"}} {}\n",
+            h.count()
+        ));
+        let share = if total_ns == 0 {
+            0.0
+        } else {
+            h.sum_ns() as f64 / total_ns as f64
+        };
+        out.push_str(&format!("gb_stage_share{{stage=\"{name}\"}} {share:.6}\n"));
     }
 }
 
 /// Pull one metric's value back out of an exposition (used by the bench
 /// harness and CI smoke to scrape `/metrics` without a Prometheus
-/// client). Matches on the exact line prefix, e.g.
-/// `scrape(&text, "gb_result_cache_hits_total")`.
+/// client). Matches on the exact metric name, e.g.
+/// `scrape(&text, "gb_result_cache_hits_total")` — a name that is a
+/// prefix of another (`gb_data_epoch` vs `gb_data_epoch_total`) only
+/// matches its own line, because the name must be followed by a space
+/// (value separator) or `{` (label block).
 pub fn scrape(exposition: &str, metric: &str) -> Option<f64> {
     exposition.lines().find_map(|line| {
         let rest = line.strip_prefix(metric)?;
+        if !rest.starts_with([' ', '{']) {
+            return None;
+        }
         // Either `metric value` or `metric{labels} value` — the caller
         // includes the labels in `metric` when they matter.
         let value = rest.trim_start_matches(|c: char| c != ' ').trim();
@@ -211,27 +216,7 @@ pub fn scrape(exposition: &str, metric: &str) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_quantiles_are_bucket_upper_bounds() {
-        let h = LatencyHistogram::default();
-        for _ in 0..99 {
-            h.record(1000); // bucket 2^10
-        }
-        h.record(1_000_000); // one slow outlier, bucket 2^20
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_ns(0.5), 1024);
-        assert_eq!(h.quantile_ns(0.99), 1024);
-        assert_eq!(h.quantile_ns(1.0), 1 << 20);
-        assert!(h.mean_ns() >= 1000);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_ns(0.99), 0);
-        assert_eq!(h.mean_ns(), 0);
-    }
+    use gb_trace::TraceConfig;
 
     #[test]
     fn render_and_scrape_roundtrip() {
@@ -246,7 +231,21 @@ mod tests {
             insertions: 1,
             evictions: 0,
         };
-        let text = m.render(&cache, 2, 5, 9, geoblocks::MemoStats { hits: 4, misses: 2 });
+        let memo = geoblocks::MemoStats {
+            hits: 4,
+            misses: 2,
+            evictions: 1,
+            invalidations: 6,
+        };
+        let tracer = Tracer::new(TraceConfig {
+            sample_rate: 1,
+            ..TraceConfig::default()
+        });
+        {
+            let _req = tracer.begin_request("select");
+            drop(tracer.span(Stage::TrieLookup));
+        }
+        let text = m.render(&cache, 2, 5, 9, memo, &tracer);
         assert_eq!(
             scrape(&text, "gb_requests_total{route=\"/v1/select\"}"),
             Some(2.0)
@@ -260,8 +259,52 @@ mod tests {
         assert_eq!(scrape(&text, "gb_data_epoch"), Some(5.0));
         assert_eq!(scrape(&text, "gb_covering_memo_hits_total"), Some(4.0));
         assert_eq!(scrape(&text, "gb_covering_memo_misses_total"), Some(2.0));
+        assert_eq!(scrape(&text, "gb_covering_memo_evictions_total"), Some(1.0));
+        assert_eq!(
+            scrape(&text, "gb_covering_memo_invalidations_total"),
+            Some(6.0)
+        );
         assert_eq!(scrape(&text, "gb_quota_rejections_total"), Some(1.0));
+        assert_eq!(
+            scrape(&text, "gb_stage_latency_count{stage=\"trie_lookup\"}"),
+            Some(1.0)
+        );
+        assert!(scrape(&text, "gb_stage_share{stage=\"trie_lookup\"}").is_some());
+        assert!(scrape(&text, "gb_pool_queue_depth").is_some());
+        assert!(scrape(&text, "gb_pool_tasks_total").is_some());
+        assert!(scrape(&text, "gb_pool_busy_ns_total").is_some());
         assert_eq!(scrape(&text, "gb_nonexistent"), None);
         assert_eq!(m.total_requests(), 4);
+    }
+
+    #[test]
+    fn scrape_requires_a_full_metric_name() {
+        // `gb_data_epoch` is a strict prefix of `gb_data_epoch_total`;
+        // scraping the short name must not read the long metric's value.
+        let text = "gb_data_epoch_total 5\ngb_data_epoch 7\n";
+        assert_eq!(scrape(text, "gb_data_epoch"), Some(7.0));
+        assert_eq!(scrape(text, "gb_data_epoch_total"), Some(5.0));
+    }
+
+    #[test]
+    fn debug_routes_are_tracked_individually() {
+        let m = Metrics::default();
+        m.record("/v1/debug/traces", 200, 1_000);
+        m.record("/v1/debug/slow", 200, 1_000);
+        let tracer = Tracer::disabled();
+        let cache = crate::cache::CacheStats::default();
+        let text = m.render(&cache, 0, 0, 0, geoblocks::MemoStats::default(), &tracer);
+        assert_eq!(
+            scrape(&text, "gb_requests_total{route=\"/v1/debug/traces\"}"),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape(&text, "gb_requests_total{route=\"/v1/debug/slow\"}"),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape(&text, "gb_requests_total{route=\"other\"}"),
+            Some(0.0)
+        );
     }
 }

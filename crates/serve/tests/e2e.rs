@@ -11,6 +11,7 @@ use gb_data::{
 use gb_geom::{Point, Polygon, Rect};
 use gb_serve::{client, metrics, GbServer, RunningServer, ServeConfig};
 use geoblocks::api::{QueryReply, QueryRequest};
+use geoblocks::trace::{TraceConfig, Tracer};
 use geoblocks::{build, GeoBlockEngine, UpdateBatch};
 use std::sync::Arc;
 use std::time::Duration;
@@ -398,5 +399,163 @@ fn quota_rejections_reach_the_wire() {
         metrics::scrape(&text, "gb_quota_rejections_total").is_some_and(|v| v >= 1.0),
         "metrics must count quota rejections:\n{text}"
     );
+    running.stop();
+}
+
+/// The observability surface end-to-end: a trace-everything server must
+/// expose per-stage latency families in `/metrics`, recent traces at
+/// `/v1/debug/traces`, and threshold-captured traces at `/v1/debug/slow`
+/// (every request qualifies at a zero threshold).
+#[test]
+fn debug_endpoints_and_stage_metrics_over_sockets() {
+    let mut raw = RawTable::new(Schema::new(vec![ColumnDef::f64("v")]));
+    let mut state = 7u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 16) % 10_000) as f64 / 100.0
+    };
+    for i in 0..4000 {
+        raw.push_row(Point::new(next(), next()), &[(i % 53) as f64]);
+    }
+    let grid = Grid::hilbert(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+    let base = extract(&raw, grid, &CleaningRules::none(), None).base;
+    let (block, _) = build(&base, 8, &Filter::all());
+    // Sample everything, and a zero slow threshold captures every
+    // request in the slow lane (the production default is 10ms).
+    let tracer = Arc::new(Tracer::new(TraceConfig {
+        sample_rate: 1,
+        slow_us: 0,
+        ..TraceConfig::default()
+    }));
+    let engine = Arc::new(GeoBlockEngine::new(block, 0.3).with_tracer(tracer));
+    let server = GbServer::new(
+        engine,
+        ServeConfig {
+            threads: 2,
+            quota_per_sec: 0.0,
+            ..ServeConfig::default()
+        },
+    );
+    let running = RunningServer::start(server, "127.0.0.1:0").expect("server start");
+    let addr = running.addr();
+    let s = spec();
+
+    // Mixed traffic: selects (one repeated → cache hit), a count, a batch.
+    for i in [0usize, 1, 1, 2] {
+        let reply = client::post_query(
+            addr,
+            "/v1/select",
+            Some("e2e"),
+            &QueryRequest::Select {
+                polygon: polygon(i),
+                spec: s.clone(),
+            },
+        )
+        .expect("select over HTTP");
+        assert!(matches!(reply, QueryReply::Select(_)));
+    }
+    client::post_query(
+        addr,
+        "/v1/count",
+        Some("e2e"),
+        &QueryRequest::Count {
+            polygon: polygon(3),
+        },
+    )
+    .expect("count over HTTP");
+    client::post_query(
+        addr,
+        "/v1/batch",
+        Some("e2e"),
+        &QueryRequest::Batch {
+            requests: (0..4)
+                .map(|i| QueryRequest::Count {
+                    polygon: polygon(i),
+                })
+                .collect(),
+        },
+    )
+    .expect("batch over HTTP");
+
+    // Per-stage latency families, one per fixed pipeline stage.
+    let text =
+        String::from_utf8(client::get(addr, "/metrics").expect("metrics").body).expect("utf8");
+    for stage in [
+        "covering_resolve",
+        "trie_lookup",
+        "pyramid_combine",
+        "scan_fallback",
+        "result_cache",
+        "quota",
+        "pool_wait",
+        "serialize",
+    ] {
+        for q in ["0.5", "0.99"] {
+            let name = format!("gb_stage_latency_ns{{stage=\"{stage}\",quantile=\"{q}\"}}");
+            assert!(
+                metrics::scrape(&text, &name).is_some(),
+                "missing {name}:\n{text}"
+            );
+        }
+        let share = format!("gb_stage_share{{stage=\"{stage}\"}}");
+        assert!(metrics::scrape(&text, &share).is_some(), "missing {share}");
+    }
+    // Stages actually exercised by the traffic above carry observations.
+    for stage in ["trie_lookup", "result_cache", "quota", "serialize"] {
+        let name = format!("gb_stage_latency_count{{stage=\"{stage}\"}}");
+        assert!(
+            metrics::scrape(&text, &name).is_some_and(|v| v >= 1.0),
+            "stage {stage} must have observations:\n{text}"
+        );
+    }
+    // Memo + pool families from the satellite metrics.
+    for family in [
+        "gb_covering_memo_evictions_total",
+        "gb_covering_memo_invalidations_total",
+        "gb_pool_queue_depth",
+        "gb_pool_tasks_total",
+        "gb_pool_busy_ns_total",
+    ] {
+        assert!(
+            metrics::scrape(&text, family).is_some(),
+            "missing {family}:\n{text}"
+        );
+    }
+
+    // Flight recorder: recent traces include the select traffic, with
+    // the repeated shape flagged as a result-cache hit.
+    let traces = String::from_utf8(client::get(addr, "/v1/debug/traces").expect("traces").body)
+        .expect("utf8");
+    assert!(
+        traces.lines().any(|l| l.contains("\"kind\":\"select\"")),
+        "recorder must hold select traces:\n{traces}"
+    );
+    assert!(
+        traces.lines().any(|l| l.contains("\"cache_hit\":true")),
+        "repeated select must record a cache hit:\n{traces}"
+    );
+    assert!(
+        traces.lines().any(|l| l.contains("\"kind\":\"batch\"")),
+        "recorder must hold the batch trace:\n{traces}"
+    );
+
+    // Slow lane: the zero threshold captures every request.
+    let slow =
+        String::from_utf8(client::get(addr, "/v1/debug/slow").expect("slow").body).expect("utf8");
+    assert!(
+        slow.lines().any(|l| l.contains("\"kind\":\"select\"")),
+        "zero slow threshold must capture selects:\n{slow}"
+    );
+    let n_slow = slow.lines().count();
+    assert!(
+        n_slow >= 6,
+        "expected all requests in the slow lane, got {n_slow}"
+    );
+
+    // Debug endpoints are GET-only.
+    let resp = client::request(addr, "POST", "/v1/debug/traces", &[], &[]).expect("405");
+    assert_eq!(resp.status, 405);
     running.stop();
 }

@@ -24,4 +24,5 @@ pub use gb_geom;
 pub use gb_phtree;
 pub use gb_serve;
 pub use gb_store;
+pub use gb_trace;
 pub use geoblocks;
